@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Ablation: scaling the mesh (the paper's stated plan was to expand the
+ * prototype to 16 nodes). Measures one-word and 4 KB automatic-update
+ * latency versus hop count on a 4x4 mesh, and an all-pairs NX exchange
+ * on 4 vs 16 nodes.
+ *
+ * Expected: per-hop cost is tens of nanoseconds against a ~5 us
+ * end-to-end path — the backplane is never the bottleneck, so the
+ * expansion is cheap (the paper's premise for scaling).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "nx/nx.hh"
+#include "vmmc/vmmc.hh"
+
+namespace
+{
+
+using namespace shrimp;
+
+double
+auLatencyUs(NodeId dst, std::size_t size)
+{
+    MachineConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.nodeMemBytes = 2 * units::MiB;
+    vmmc::System sys(cfg);
+    auto &a = sys.createEndpoint(0);
+    auto &b = sys.createEndpoint(dst);
+    Tick total = 0;
+
+    sys.sim().spawn([](vmmc::System &sys, vmmc::Endpoint &a,
+                       vmmc::Endpoint &b, NodeId dst, std::size_t size,
+                       Tick &total) -> sim::Task<> {
+        std::size_t bufsz = (size + 8191) / 4096 * 4096;
+        VAddr rbuf = b.proc().alloc(bufsz, CacheMode::WriteThrough);
+        co_await b.exportBuffer(3, rbuf, bufsz);
+        auto r = co_await a.import(dst, 3);
+        VAddr au = a.proc().alloc(bufsz);
+        co_await a.bindAu(au, bufsz, r.handle, 0);
+        VAddr user = a.proc().alloc(bufsz);
+
+        Tick t0 = sys.sim().now();
+        for (std::uint32_t i = 1; i <= 10; ++i) {
+            a.proc().poke32(VAddr(user + size - 4), i);
+            co_await a.proc().copy(au, user, size);
+            co_await b.proc().waitWord32Eq(VAddr(rbuf + size - 4), i);
+        }
+        total = sys.sim().now() - t0;
+    }(sys, a, b, dst, size, total));
+    sys.sim().runAll();
+    return double(total) / 10.0 / 1000.0;
+}
+
+double
+allPairsMs(int nprocs)
+{
+    MachineConfig cfg;
+    cfg.meshWidth = nprocs > 4 ? 4 : 2;
+    cfg.meshHeight = nprocs > 4 ? 4 : 2;
+    cfg.nodeMemBytes = 2 * units::MiB;
+    vmmc::System sys(cfg);
+    nx::NxSystem nxs(sys, nprocs);
+    sys.sim().spawn(nxs.init());
+    sys.sim().runAll();
+
+    Tick t0 = sys.sim().now();
+    for (int r = 0; r < nprocs; ++r) {
+        sys.sim().spawn([](nx::NxSystem &nxs, int r,
+                           int n) -> sim::Task<> {
+            auto &p = nxs.proc(r);
+            auto &proc = p.endpoint().proc();
+            VAddr buf = proc.alloc(4096);
+            // Everyone sends 1 KB to everyone (ring-shifted schedule).
+            for (int k = 1; k < n; ++k) {
+                int to = (r + k) % n;
+                co_await p.csend(long(100 + r), buf, 1024, to);
+            }
+            for (int k = 1; k < n; ++k) {
+                int from = (r - k + n) % n;
+                co_await p.crecv(long(100 + from), buf, 4096);
+            }
+            co_await p.gsync();
+        }(nxs, r, nprocs));
+    }
+    sys.sim().runAll();
+    return double(sys.sim().now() - t0) / 1e6;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace shrimp::bench;
+    (void)argc;
+    (void)argv;
+
+    printBanner("Ablation: mesh scaling",
+                "AU latency vs hop count (4x4 mesh); all-pairs NX "
+                "exchange at 4 vs 16 ranks",
+                "the paper's 16-node expansion plan: the backplane is "
+                "never the bottleneck");
+
+    // Node 0 is at (0,0); pick destinations at increasing Manhattan
+    // distance: 1 -> 1 hop, 5 -> 2, 10 -> 4, 15 -> 6.
+    std::vector<std::string> rows;
+    std::vector<std::vector<double>> vals;
+    for (auto [dst, hops] :
+         {std::pair<NodeId, int>{1, 1}, std::pair<NodeId, int>{5, 2},
+          std::pair<NodeId, int>{10, 4},
+          std::pair<NodeId, int>{15, 6}}) {
+        rows.push_back(std::to_string(hops) + " hop(s)");
+        vals.push_back({auLatencyUs(dst, 4), auLatencyUs(dst, 4096)});
+    }
+    printTable("AU latency by hop count", rows,
+               {"4 B (us)", "4 KB (us)"}, vals);
+
+    double four = allPairsMs(4);
+    double sixteen = allPairsMs(16);
+    printTable("all-pairs 1 KB exchange + barrier",
+               {"4 ranks (2x2)", "16 ranks (4x4)"}, {"time (ms)"},
+               {{four}, {sixteen}});
+    return 0;
+}

@@ -1,0 +1,115 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+
+namespace shrimp::bench
+{
+
+void
+printBanner(const std::string &figure, const std::string &title,
+            const std::string &paper_note)
+{
+    std::printf("==================================================="
+                "===========\n");
+    std::printf("%s — %s\n", figure.c_str(), title.c_str());
+    std::printf("paper: %s\n", paper_note.c_str());
+    std::printf("==================================================="
+                "===========\n");
+}
+
+namespace
+{
+
+void
+printOneTable(const char *what, const std::vector<Curve> &curves,
+              const std::vector<std::size_t> &sizes, bool latency)
+{
+    if (sizes.empty())
+        return;
+    std::printf("\n%s\n", what);
+    std::printf("%10s", "bytes");
+    for (const Curve &c : curves)
+        std::printf(" %12s", c.name.c_str());
+    std::printf("\n");
+    for (std::size_t size : sizes) {
+        std::printf("%10zu", size);
+        for (const Curve &c : curves) {
+            auto it = c.points.find(size);
+            if (it == c.points.end()) {
+                std::printf(" %12s", "-");
+            } else {
+                std::printf(" %12.2f", latency ? it->second.latencyUs
+                                               : it->second.bandwidthMBs);
+            }
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+void
+printFigure(const std::vector<Curve> &curves,
+            const std::vector<std::size_t> &lat_sizes,
+            const std::vector<std::size_t> &bw_sizes,
+            const std::string &lat_label)
+{
+    printOneTable(lat_label.c_str(), curves, lat_sizes, true);
+    printOneTable("bandwidth (MB/s)", curves, bw_sizes, false);
+    std::printf("\n");
+}
+
+void
+printTable(const std::string &header,
+           const std::vector<std::string> &row_names,
+           const std::vector<std::string> &col_names,
+           const std::vector<std::vector<double>> &values)
+{
+    std::printf("\n%s\n", header.c_str());
+    std::printf("%24s", "");
+    for (const auto &c : col_names)
+        std::printf(" %12s", c.c_str());
+    std::printf("\n");
+    for (std::size_t r = 0; r < row_names.size(); ++r) {
+        std::printf("%24s", row_names[r].c_str());
+        for (double v : values[r])
+            std::printf(" %12.2f", v);
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+int
+runGoogleBenchmarks(int argc, char **argv,
+                    const std::vector<Curve> &curves,
+                    const std::vector<std::size_t> &sizes,
+                    MeasureFn measure_seconds)
+{
+    for (const Curve &c : curves) {
+        for (std::size_t size : sizes) {
+            if (!c.points.count(size))
+                continue;
+            std::string name = c.name + "/" + std::to_string(size);
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [measure_seconds, curve = c.name,
+                 size](benchmark::State &state) {
+                    for (auto _ : state) {
+                        double secs = measure_seconds(curve, size);
+                        state.SetIterationTime(secs);
+                    }
+                    state.SetBytesProcessed(
+                        std::int64_t(state.iterations()) *
+                        std::int64_t(size));
+                })
+                ->UseManualTime()
+                ->Iterations(1);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace shrimp::bench

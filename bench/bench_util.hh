@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmarks: table printing
+ * in the shape of the paper's figures (one latency table for small
+ * messages, one bandwidth table for large messages), ping-pong
+ * bookkeeping, and google-benchmark registration glue.
+ *
+ * Every bench binary prints its figure's series as labelled rows and
+ * then runs the registered google-benchmark entries (simulated time is
+ * reported through manual timing).
+ */
+
+#ifndef SHRIMP_BENCH_BENCH_UTIL_HH
+#define SHRIMP_BENCH_BENCH_UTIL_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "base/types.hh"
+
+namespace shrimp::bench
+{
+
+/** One measured point of a ping-pong experiment. */
+struct Point
+{
+    double latencyUs = 0.0;  //!< one-way latency (or round trip; noted)
+    double bandwidthMBs = 0.0;
+};
+
+/** A named curve: size -> point. */
+struct Curve
+{
+    std::string name;
+    std::map<std::size_t, Point> points;
+};
+
+/** Print a figure banner. */
+void printBanner(const std::string &figure, const std::string &title,
+                 const std::string &paper_note);
+
+/**
+ * Print the two tables of a latency/bandwidth figure: latency rows for
+ * @p lat_sizes and bandwidth rows for @p bw_sizes.
+ */
+void printFigure(const std::vector<Curve> &curves,
+                 const std::vector<std::size_t> &lat_sizes,
+                 const std::vector<std::size_t> &bw_sizes,
+                 const std::string &lat_label = "one-way latency (us)");
+
+/** Print a single table of values (used by the ablations). */
+void printTable(const std::string &header,
+                const std::vector<std::string> &row_names,
+                const std::vector<std::string> &col_names,
+                const std::vector<std::vector<double>> &values);
+
+/**
+ * Register one google-benchmark entry per (curve, size) that replays a
+ * measurement function and reports the simulated time via manual
+ * timing, then run the benchmark library.
+ */
+using MeasureFn = std::function<double(const std::string &curve,
+                                       std::size_t size)>;
+int runGoogleBenchmarks(int argc, char **argv,
+                        const std::vector<Curve> &curves,
+                        const std::vector<std::size_t> &sizes,
+                        MeasureFn measure_seconds);
+
+/** Compute ping-pong results: @p one_way_ns per message of @p size. */
+inline Point
+pointFrom(double one_way_ns, std::size_t size)
+{
+    Point p;
+    p.latencyUs = one_way_ns / 1000.0;
+    p.bandwidthMBs =
+        one_way_ns > 0.0 ? double(size) * 1000.0 / one_way_ns : 0.0;
+    return p;
+}
+
+} // namespace shrimp::bench
+
+#endif // SHRIMP_BENCH_BENCH_UTIL_HH

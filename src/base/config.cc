@@ -1,0 +1,43 @@
+#include "base/config.hh"
+
+#include "base/logging.hh"
+
+namespace shrimp
+{
+
+double
+MachineConfig::copyBw(CacheMode mode) const
+{
+    switch (mode) {
+      case CacheMode::WriteBack:
+        return copyBwWriteBack;
+      case CacheMode::WriteThrough:
+        return copyBwWriteThrough;
+      case CacheMode::Uncached:
+        return copyBwUncached;
+    }
+    return copyBwWriteBack;
+}
+
+void
+MachineConfig::validate() const
+{
+    if (meshWidth < 1 || meshHeight < 1)
+        fatal("mesh dimensions must be at least 1x1");
+    if (pageBytes == 0 || (pageBytes & (pageBytes - 1)) != 0)
+        fatal("pageBytes must be a nonzero power of two");
+    if (nodeMemBytes % pageBytes != 0)
+        fatal("nodeMemBytes must be a multiple of pageBytes");
+    if (maxPacketBytes == 0 || maxPacketBytes > pageBytes)
+        fatal("maxPacketBytes must be in (0, pageBytes]");
+    if (auCombineLimit == 0 || auCombineLimit > maxPacketBytes)
+        fatal("auCombineLimit must be in (0, maxPacketBytes]");
+    if (eisaDmaBw <= 0 || linkBw <= 0 || etherBw <= 0)
+        fatal("bandwidths must be positive");
+    if (copyBwWriteBack <= 0 || copyBwWriteThrough <= 0 ||
+        copyBwUncached <= 0) {
+        fatal("copy bandwidths must be positive");
+    }
+}
+
+} // namespace shrimp

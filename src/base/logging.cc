@@ -1,0 +1,55 @@
+#include "base/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace shrimp
+{
+
+namespace logging
+{
+
+int verbosity = 1;
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    char buf[1024];
+    vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return std::string(buf);
+}
+
+} // namespace logging
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    throw PanicError(msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    if (logging::verbosity >= 1)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    if (logging::verbosity >= 2)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace shrimp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Status/error reporting helpers, in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal invariant of the simulator or a library protocol was
+ *            violated; this is a bug in shrimp itself. Throws PanicError so
+ *            tests can assert on it.
+ * fatal()  - the user asked for something impossible (bad configuration,
+ *            invalid arguments). Throws FatalError.
+ * warn()   - something is off but execution can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef SHRIMP_BASE_LOGGING_HH
+#define SHRIMP_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace shrimp
+{
+
+/** Error thrown by panic(): an internal simulator/protocol bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Error thrown by fatal(): an unusable user configuration or argument. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace logging
+{
+/** Format a printf-style message into a std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Global verbosity: 0 = errors only, 1 = warn, 2 = inform. */
+extern int verbosity;
+} // namespace logging
+
+/** Report an internal error and throw PanicError. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report a user error and throw FatalError. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print a warning to stderr (when verbosity >= 1). */
+void warn(const std::string &msg);
+
+/** Print an informational message to stdout (when verbosity >= 2). */
+void inform(const std::string &msg);
+
+/** Panic unless the given condition holds. */
+#define SHRIMP_ASSERT(cond, msg)                                             \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::shrimp::panic(std::string("assertion failed: ") + #cond +      \
+                            " -- " + (msg));                                 \
+    } while (0)
+
+} // namespace shrimp
+
+#endif // SHRIMP_BASE_LOGGING_HH

@@ -1,0 +1,48 @@
+#include "base/stats.hh"
+
+#include <iomanip>
+
+namespace shrimp::stats
+{
+
+Counter &
+Group::counter(const std::string &stat_name)
+{
+    return counters_[stat_name];
+}
+
+Distribution &
+Group::distribution(const std::string &stat_name)
+{
+    return dists_[stat_name];
+}
+
+std::uint64_t
+Group::get(const std::string &stat_name) const
+{
+    auto it = counters_.find(stat_name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const auto &[k, c] : counters_)
+        os << name_ << "." << k << " " << c.value() << "\n";
+    for (const auto &[k, d] : dists_) {
+        os << name_ << "." << k << " count=" << d.count()
+           << " mean=" << d.mean() << " min=" << d.min()
+           << " max=" << d.max() << "\n";
+    }
+}
+
+void
+Group::reset()
+{
+    for (auto &[k, c] : counters_)
+        c.reset();
+    for (auto &[k, d] : dists_)
+        d.reset();
+}
+
+} // namespace shrimp::stats

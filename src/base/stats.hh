@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A small statistics package (counters and scalar formulas) so that
+ * hardware models and libraries can export event counts, in the spirit of
+ * gem5's stats. Stats live in named groups; a StatRegistry can dump all
+ * groups for inspection in tests and benchmarks.
+ */
+
+#ifndef SHRIMP_BASE_STATS_HH
+#define SHRIMP_BASE_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace shrimp::stats
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running scalar distribution: count / sum / min / max / mean. */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_) min_ = v;
+        if (count_ == 0 || v > max_) max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    void reset() { count_ = 0; sum_ = min_ = max_ = 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named group of statistics belonging to one component. Components
+ * register their counters by name; the group can be printed or queried.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under @p stat_name. Returns a stable reference. */
+    Counter &counter(const std::string &stat_name);
+
+    /** Register a distribution under @p stat_name. */
+    Distribution &distribution(const std::string &stat_name);
+
+    /** Value of a registered counter; 0 if absent. */
+    std::uint64_t get(const std::string &stat_name) const;
+
+    const std::string &name() const { return name_; }
+    void dump(std::ostream &os) const;
+    void reset();
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Distribution> dists_;
+};
+
+} // namespace shrimp::stats
+
+#endif // SHRIMP_BASE_STATS_HH

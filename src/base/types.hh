@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fundamental types shared across the simulator: the simulated clock,
+ * addresses, node identifiers, and unit helpers.
+ */
+
+#ifndef SHRIMP_BASE_TYPES_HH
+#define SHRIMP_BASE_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace shrimp
+{
+
+/** Simulated time, in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Largest representable tick; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Virtual address within a process address space. */
+using VAddr = std::uint32_t;
+
+/** Physical address within a node's memory. */
+using PAddr = std::uint32_t;
+
+/** Node identifier (index into the machine's node array). */
+using NodeId = std::uint16_t;
+
+/** An invalid node id. */
+constexpr NodeId invalidNode = NodeId(~0);
+
+/** Page number (virtual or physical, depending on context). */
+using PageNum = std::uint32_t;
+
+namespace units
+{
+constexpr Tick ns = 1;
+constexpr Tick us = 1000;
+constexpr Tick ms = 1000 * 1000;
+constexpr Tick sec = Tick(1000) * 1000 * 1000;
+
+constexpr std::size_t KiB = 1024;
+constexpr std::size_t MiB = 1024 * 1024;
+
+/** Ticks needed to move @p bytes at @p mbPerSec (10^6 bytes/s, as the
+ *  paper quotes bus bandwidths). Rounds up; zero bytes take zero time. */
+constexpr Tick
+transferTime(std::size_t bytes, double mbPerSec)
+{
+    if (bytes == 0 || mbPerSec <= 0.0)
+        return 0;
+    double nsec = double(bytes) * 1000.0 / mbPerSec;
+    Tick t = Tick(nsec);
+    return (double(t) < nsec) ? t + 1 : t;
+}
+} // namespace units
+
+} // namespace shrimp
+
+#endif // SHRIMP_BASE_TYPES_HH

@@ -1,0 +1,99 @@
+#include "mem/address_space.hh"
+
+#include "base/logging.hh"
+
+namespace shrimp::mem
+{
+
+AddressSpace::AddressSpace(Memory &memory)
+    : mem_(memory), nextVAddr_(VAddr(memory.pageBytes()))
+{
+}
+
+VAddr
+AddressSpace::alloc(std::size_t bytes, CacheMode mode)
+{
+    if (bytes == 0)
+        fatal("cannot allocate zero bytes");
+    std::size_t page = pageBytes();
+    std::size_t npages = (bytes + page - 1) / page;
+    PAddr frame = mem_.allocFrames(npages);
+    VAddr base = nextVAddr_;
+    for (std::size_t i = 0; i < npages; ++i) {
+        PageNum vpn = (base / page) + PageNum(i);
+        pages_[vpn] = PageEntry{PAddr(frame + i * page), mode};
+    }
+    nextVAddr_ += VAddr(npages * page);
+    return base;
+}
+
+const AddressSpace::PageEntry &
+AddressSpace::entry(VAddr addr) const
+{
+    auto it = pages_.find(PageNum(addr / pageBytes()));
+    if (it == pages_.end())
+        panic(logging::format("unmapped virtual address 0x%x", addr));
+    return it->second;
+}
+
+bool
+AddressSpace::mapped(VAddr addr, std::size_t len) const
+{
+    if (len == 0)
+        len = 1;
+    PageNum first = addr / pageBytes();
+    PageNum last = PageNum((std::uint64_t(addr) + len - 1) / pageBytes());
+    for (PageNum vpn = first; vpn <= last; ++vpn) {
+        if (!pages_.count(vpn))
+            return false;
+    }
+    return true;
+}
+
+PAddr
+AddressSpace::translate(VAddr addr) const
+{
+    const PageEntry &pe = entry(addr);
+    return pe.frame + PAddr(addr % pageBytes());
+}
+
+PAddr
+AddressSpace::translateRange(VAddr addr, std::size_t len) const
+{
+    if (!mapped(addr, len))
+        panic(logging::format("unmapped virtual range [0x%x, +%zu)",
+                              addr, len));
+    PAddr base = translate(addr);
+    // Verify physical contiguity across the range (holds by construction
+    // for single allocations; catches accidental cross-allocation use).
+    PageNum first = addr / pageBytes();
+    PageNum last = PageNum((std::uint64_t(addr) + (len ? len : 1) - 1) /
+                           pageBytes());
+    for (PageNum vpn = first; vpn + 1 <= last; ++vpn) {
+        PAddr a = pages_.at(vpn).frame;
+        PAddr b = pages_.at(vpn + 1).frame;
+        if (b != a + PAddr(pageBytes()))
+            panic("virtual range is not physically contiguous");
+    }
+    return base;
+}
+
+CacheMode
+AddressSpace::cacheMode(VAddr addr) const
+{
+    return entry(addr).mode;
+}
+
+void
+AddressSpace::setCacheMode(VAddr addr, std::size_t len, CacheMode mode)
+{
+    if (!mapped(addr, len))
+        panic("setCacheMode on unmapped range");
+    PageNum first = addr / pageBytes();
+    PageNum last = PageNum((std::uint64_t(addr) + (len ? len : 1) - 1) /
+                           pageBytes());
+    for (PageNum vpn = first; vpn <= last; ++vpn)
+        pages_[vpn].mode = mode;
+}
+
+} // namespace shrimp::mem

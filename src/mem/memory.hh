@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Memory: one node's physical memory. Holds real bytes (protocols in the
+ * libraries move actual data, which tests verify end-to-end) and supports
+ * write watchpoints: a task can sleep until *any* write lands, then
+ * re-check the flag it is polling. Timing is charged by the components
+ * that access memory (CPU, DMA engines), not here.
+ */
+
+#ifndef SHRIMP_MEM_MEMORY_HH
+#define SHRIMP_MEM_MEMORY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+
+namespace shrimp::mem
+{
+
+class Memory
+{
+  public:
+    Memory(sim::EventQueue &queue, std::size_t bytes, std::size_t page_bytes,
+           std::string name = "mem");
+
+    std::size_t size() const { return data_.size(); }
+    std::size_t pageBytes() const { return pageBytes_; }
+    PageNum pageOf(PAddr addr) const { return addr / pageBytes_; }
+    std::size_t numPages() const { return data_.size() / pageBytes_; }
+
+    /** Copy @p n bytes into memory at @p addr and wake write-watchers. */
+    void write(PAddr addr, const void *src, std::size_t n);
+
+    /** Copy @p n bytes out of memory at @p addr. */
+    void read(PAddr addr, void *dst, std::size_t n) const;
+
+    std::uint32_t read32(PAddr addr) const;
+    void write32(PAddr addr, std::uint32_t value);
+
+    /**
+     * Suspend until the next write to this memory (any address).
+     * Users poll a predicate:  while (!flagSet()) co_await m.waitWrite();
+     */
+    sim::Condition::WaitAwaiter waitWrite() { return writeCond_.wait(); }
+
+    /**
+     * Allocate @p pages physically-contiguous page frames.
+     * The SHRIMP daemons arrange physically-contiguous communication
+     * buffers on the real system; the simulator simply never fragments.
+     * @return physical address of the first frame.
+     */
+    PAddr allocFrames(std::size_t pages);
+
+    /** Frames still unallocated. */
+    std::size_t freeFrames() const;
+
+    std::uint64_t writeCount() const { return writeCount_; }
+
+  private:
+    void checkRange(PAddr addr, std::size_t n) const;
+
+    std::vector<std::uint8_t> data_;
+    std::size_t pageBytes_;
+    std::string name_;
+    sim::Condition writeCond_;
+    PAddr nextFrame_ = 0;
+    std::uint64_t writeCount_ = 0;
+};
+
+} // namespace shrimp::mem
+
+#endif // SHRIMP_MEM_MEMORY_HH

@@ -1,0 +1,97 @@
+#include "net/mesh.hh"
+
+#include "base/logging.hh"
+
+namespace shrimp::net
+{
+
+Mesh::Mesh(sim::Simulator &sim, const MachineConfig &cfg)
+    : sim_(sim), width_(cfg.meshWidth), height_(cfg.meshHeight)
+{
+    int n = numNodes();
+    routers_.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        routers_.push_back(
+            std::make_unique<Router>(sim.queue(), NodeId(i), cfg));
+    }
+    // Wire up the grid: every interior edge gets a link in each direction.
+    for (NodeId i = 0; i < NodeId(n); ++i) {
+        if (xOf(i) + 1 < width_)
+            routers_[i]->connect(Dir::East);
+        if (xOf(i) > 0)
+            routers_[i]->connect(Dir::West);
+        if (yOf(i) + 1 < height_)
+            routers_[i]->connect(Dir::South);
+        if (yOf(i) > 0)
+            routers_[i]->connect(Dir::North);
+    }
+}
+
+NodeId
+Mesh::neighbor(NodeId n, Dir d) const
+{
+    int x = xOf(n), y = yOf(n);
+    switch (d) {
+      case Dir::East:
+        ++x;
+        break;
+      case Dir::West:
+        --x;
+        break;
+      case Dir::South:
+        ++y;
+        break;
+      case Dir::North:
+        --y;
+        break;
+    }
+    if (x < 0 || x >= width_ || y < 0 || y >= height_)
+        panic("mesh neighbor out of range");
+    return NodeId(y * width_ + x);
+}
+
+Dir
+Mesh::nextDir(NodeId at, NodeId dst) const
+{
+    // Dimension-ordered (XY) routing: move along X first, then Y.
+    if (xOf(dst) > xOf(at))
+        return Dir::East;
+    if (xOf(dst) < xOf(at))
+        return Dir::West;
+    if (yOf(dst) > yOf(at))
+        return Dir::South;
+    if (yOf(dst) < yOf(at))
+        return Dir::North;
+    panic("nextDir called with at == dst");
+}
+
+int
+Mesh::hops(NodeId a, NodeId b) const
+{
+    return std::abs(xOf(a) - xOf(b)) + std::abs(yOf(a) - yOf(b));
+}
+
+void
+Mesh::inject(Packet pkt)
+{
+    if (pkt.src >= numNodes() || pkt.dst >= numNodes())
+        panic("packet injected with out-of-range node id");
+    pkt.seq = nextSeq_++;
+    sim_.spawn(routeTask(std::move(pkt)));
+}
+
+sim::Task<>
+Mesh::routeTask(Packet pkt)
+{
+    NodeId cur = pkt.src;
+    while (cur != pkt.dst) {
+        Dir d = nextDir(cur, pkt.dst);
+        NodeId next = neighbor(cur, d);
+        co_await routers_[cur]->forward(pkt, d);
+        cur = next;
+    }
+    ++delivered_;
+    routers_[cur]->eject(std::move(pkt));
+}
+
+} // namespace shrimp::net

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Mesh: the Intel routing backplane — a 2-D mesh of iMRC routers with
+ * deadlock-free, oblivious wormhole routing (dimension-ordered XY) that
+ * preserves the order of packets from each sender to each receiver.
+ * Node i sits at (i % width, i / width).
+ */
+
+#ifndef SHRIMP_NET_MESH_HH
+#define SHRIMP_NET_MESH_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/config.hh"
+#include "net/packet.hh"
+#include "net/router.hh"
+#include "sim/simulator.hh"
+
+namespace shrimp::net
+{
+
+class Mesh
+{
+  public:
+    Mesh(sim::Simulator &sim, const MachineConfig &cfg);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int numNodes() const { return width_ * height_; }
+
+    /** Grid coordinates of a node. */
+    int xOf(NodeId n) const { return n % width_; }
+    int yOf(NodeId n) const { return n / width_; }
+
+    /** Neighbour of @p n in direction @p d; panics at a mesh edge. */
+    NodeId neighbor(NodeId n, Dir d) const;
+
+    /** Next output direction under XY routing from @p at toward @p dst. */
+    Dir nextDir(NodeId at, NodeId dst) const;
+
+    /** Number of router-to-router hops between two nodes. */
+    int hops(NodeId a, NodeId b) const;
+
+    /**
+     * Inject a packet at its source router. Returns immediately; the
+     * packet traverses the mesh asynchronously and is eventually placed
+     * on the destination router's eject queue. Packets injected at the
+     * same source toward the same destination stay in order.
+     */
+    void inject(Packet pkt);
+
+    Router &router(NodeId n) { return *routers_.at(n); }
+
+    std::uint64_t packetsDelivered() const { return delivered_; }
+
+  private:
+    sim::Task<> routeTask(Packet pkt);
+
+    sim::Simulator &sim_;
+    int width_;
+    int height_;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t delivered_ = 0;
+};
+
+} // namespace shrimp::net
+
+#endif // SHRIMP_NET_MESH_HH

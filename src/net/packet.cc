@@ -1,0 +1,12 @@
+// Packet is header-only; this translation unit exists to give the header
+// a home in the library and to host static checks.
+
+#include "net/packet.hh"
+
+namespace shrimp::net
+{
+
+static_assert(Packet::headerBytes >= sizeof(PAddr) + sizeof(NodeId) * 2,
+              "header must at least carry route and destination address");
+
+} // namespace shrimp::net

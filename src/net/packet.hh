@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The packet format carried by the routing backplane. A SHRIMP packet
+ * holds the destination node, the destination *physical* base address
+ * (the OPT produced it on the sending side), the payload bytes, and the
+ * sender-specified interrupt flag used by the notification mechanism
+ * (paper sections 2.3 and 3.2).
+ */
+
+#ifndef SHRIMP_NET_PACKET_HH
+#define SHRIMP_NET_PACKET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace shrimp::net
+{
+
+struct Packet
+{
+    NodeId src = invalidNode;
+    NodeId dst = invalidNode;
+
+    /** Destination physical base address, from the sender's OPT. */
+    PAddr destAddr = 0;
+
+    /** Payload data (real bytes). */
+    std::vector<std::uint8_t> payload;
+
+    /** Sender-specified interrupt flag: request a notification at the
+     *  destination (ANDed with the receiver's IPT flag). */
+    bool senderInterrupt = false;
+
+    /** Injection sequence number, for debugging and order checks. */
+    std::uint64_t seq = 0;
+
+    /** Header bytes on the wire: route info + destination address +
+     *  length + flags. */
+    static constexpr std::size_t headerBytes = 16;
+
+    std::size_t wireBytes() const { return payload.size() + headerBytes; }
+
+    /** True if the payload ends exactly where @p other's begins at the
+     *  destination (used by combining logic tests). */
+    bool
+    contiguousWith(const Packet &other) const
+    {
+        return dst == other.dst &&
+               destAddr + PAddr(payload.size()) == other.destAddr;
+    }
+};
+
+} // namespace shrimp::net
+
+#endif // SHRIMP_NET_PACKET_HH

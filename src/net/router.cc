@@ -1,0 +1,42 @@
+#include "net/router.hh"
+
+#include "base/logging.hh"
+
+namespace shrimp::net
+{
+
+Router::Router(sim::EventQueue &queue, NodeId id, const MachineConfig &cfg)
+    : queue_(queue), id_(id), hopLatency_(cfg.hopLatency),
+      linkBw_(cfg.linkBw), ejectQueue_(queue)
+{
+}
+
+void
+Router::connect(Dir d)
+{
+    auto &link = links_[int(d)];
+    if (!link) {
+        link = std::make_unique<sim::Bus>(
+            queue_, linkBw_,
+            "router" + std::to_string(id_) + ".link" +
+                std::to_string(int(d)));
+    }
+}
+
+bool
+Router::connected(Dir d) const
+{
+    return links_[int(d)] != nullptr;
+}
+
+sim::Task<>
+Router::forward(const Packet &pkt, Dir d)
+{
+    auto &link = links_[int(d)];
+    if (!link)
+        panic("forward on unconnected mesh link");
+    co_await link->transfer(pkt.wireBytes(), hopLatency_);
+    ++forwarded_;
+}
+
+} // namespace shrimp::net

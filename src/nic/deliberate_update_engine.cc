@@ -1,0 +1,60 @@
+#include "nic/deliberate_update_engine.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace shrimp::nic
+{
+
+DeliberateUpdateEngine::DeliberateUpdateEngine(const MachineConfig &cfg,
+                                               mem::Memory &memory,
+                                               sim::Bus &eisa,
+                                               Packetizer &packetizer)
+    : cfg_(cfg), mem_(memory), eisa_(eisa), packetizer_(packetizer)
+{
+}
+
+sim::Task<>
+DeliberateUpdateEngine::send(const OptEntry &dst, std::size_t dst_off,
+                             PAddr src, std::size_t len, bool notify)
+{
+    if (!dst.valid)
+        panic("DU send through invalid OPT slot");
+    if (src % 4 != 0 || (dst.destBase + dst_off) % 4 != 0)
+        panic("DU engine handed misaligned addresses (the VMMC layer "
+              "must reject these)");
+
+    // The hardware transfers whole words; a non-multiple length sends
+    // padding bytes after the message (paper section 4, "Reducing
+    // Copying").
+    std::size_t wire_len = (len + 3) & ~std::size_t(3);
+    if (dst_off + wire_len > dst.len)
+        panic("DU transfer exceeds imported window");
+
+    ++transfers_;
+    std::size_t page = cfg_.pageBytes;
+    std::size_t done = 0;
+    while (done < wire_len) {
+        PAddr dest_addr = dst.destBase + PAddr(dst_off + done);
+        std::size_t to_page_end = page - (dest_addr % page);
+        std::size_t chunk = std::min({wire_len - done, cfg_.maxPacketBytes,
+                                      to_page_end});
+
+        // DMA-read the source data over the EISA bus.
+        co_await eisa_.transfer(chunk, cfg_.dmaReadSetup);
+
+        net::Packet pkt;
+        pkt.dst = dst.destNode;
+        pkt.destAddr = dest_addr;
+        pkt.payload.resize(chunk);
+        mem_.read(src + PAddr(done), pkt.payload.data(), chunk);
+        pkt.senderInterrupt = notify && (done + chunk == wire_len);
+        packetizer_.duPacket(std::move(pkt));
+
+        done += chunk;
+        bytesSent_ += chunk;
+    }
+}
+
+} // namespace shrimp::nic

@@ -1,0 +1,107 @@
+#include "nic/incoming_dma_engine.hh"
+
+#include "base/logging.hh"
+
+namespace shrimp::nic
+{
+
+IncomingDmaEngine::IncomingDmaEngine(sim::Simulator &sim,
+                                     const MachineConfig &cfg,
+                                     mem::Memory &memory, sim::Bus &eisa,
+                                     IncomingPageTable &ipt,
+                                     sim::Channel<net::Packet> &input)
+    : sim_(sim), cfg_(cfg), mem_(memory), eisa_(eisa), ipt_(ipt),
+      input_(input), unfreezeCond_(sim.queue()), drainCond_(sim.queue())
+{
+}
+
+sim::Task<>
+IncomingDmaEngine::loop()
+{
+    for (;;) {
+        net::Packet pkt = co_await input_.recv();
+        std::size_t len = pkt.payload.size();
+        PageNum page = mem_.pageOf(pkt.destAddr);
+
+        bool drop = false;
+        if (!ipt_.rangeEnabled(pkt.destAddr, len, cfg_.pageBytes)) {
+            // Freeze the receive datapath and interrupt the node CPU.
+            ++freezes_;
+            frozen_ = true;
+            if (!badHandler_) {
+                panic(logging::format(
+                    "data received for disabled page %u and no daemon "
+                    "handler installed", page));
+            }
+            badHandler_(pkt, page);
+            while (frozen_)
+                co_await unfreezeCond_.wait();
+            if (freezeAction_ == FreezeAction::Drop) {
+                drop = true;
+            } else if (!ipt_.rangeEnabled(pkt.destAddr, len,
+                                          cfg_.pageBytes)) {
+                panic("unfreeze(Retry) but destination page still "
+                      "disabled");
+            }
+        }
+
+        if (drop) {
+            ++dropped_;
+            noteDone(pkt.destAddr);
+            continue;
+        }
+
+        co_await eisa_.transfer(len, cfg_.dmaWriteSetup);
+        mem_.write(pkt.destAddr, pkt.payload.data(), len);
+        ++delivered_;
+        bytesDelivered_ += len;
+        noteDone(pkt.destAddr);
+
+        if (pkt.senderInterrupt && ipt_.interrupt(page)) {
+            ++notifications_;
+            if (notifyHandler_)
+                notifyHandler_(pkt);
+        }
+    }
+}
+
+void
+IncomingDmaEngine::unfreeze(FreezeAction action)
+{
+    if (!frozen_)
+        panic("unfreeze called but datapath is not frozen");
+    freezeAction_ = action;
+    frozen_ = false;
+    unfreezeCond_.notifyAll();
+}
+
+void
+IncomingDmaEngine::noteInflight(PAddr addr)
+{
+    ++inflight_[mem_.pageOf(addr)];
+}
+
+void
+IncomingDmaEngine::noteDone(PAddr addr)
+{
+    PageNum page = mem_.pageOf(addr);
+    auto it = inflight_.find(page);
+    if (it == inflight_.end() || it->second == 0)
+        panic("in-flight packet accounting underflow");
+    if (--it->second == 0)
+        inflight_.erase(it);
+    drainCond_.notifyAll();
+}
+
+sim::Task<>
+IncomingDmaEngine::waitDrain(PageNum first, PageNum last)
+{
+    auto busy = [this, first, last] {
+        auto it = inflight_.lower_bound(first);
+        return it != inflight_.end() && it->first <= last;
+    };
+    while (busy())
+        co_await drainCond_.wait();
+}
+
+} // namespace shrimp::nic

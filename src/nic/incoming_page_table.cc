@@ -1,0 +1,67 @@
+#include "nic/incoming_page_table.hh"
+
+#include "base/logging.hh"
+
+namespace shrimp::nic
+{
+
+IncomingPageTable::IncomingPageTable(std::size_t num_pages)
+    : entries_(num_pages)
+{
+}
+
+const IncomingPageTable::Entry &
+IncomingPageTable::at(PageNum page) const
+{
+    if (page >= entries_.size())
+        panic("IPT access out of range");
+    return entries_[page];
+}
+
+void
+IncomingPageTable::setEnabled(PageNum page, bool enabled)
+{
+    if (page >= entries_.size())
+        panic("IPT setEnabled out of range");
+    if (entries_[page].enabled != enabled) {
+        entries_[page].enabled = enabled;
+        numEnabled_ += enabled ? 1 : -1;
+    }
+}
+
+void
+IncomingPageTable::setInterrupt(PageNum page, bool interrupt)
+{
+    if (page >= entries_.size())
+        panic("IPT setInterrupt out of range");
+    entries_[page].interrupt = interrupt;
+}
+
+bool
+IncomingPageTable::enabled(PageNum page) const
+{
+    return at(page).enabled;
+}
+
+bool
+IncomingPageTable::interrupt(PageNum page) const
+{
+    return at(page).interrupt;
+}
+
+bool
+IncomingPageTable::rangeEnabled(PAddr addr, std::size_t len,
+                                std::size_t page_bytes) const
+{
+    if (len == 0)
+        len = 1;
+    PageNum first = addr / page_bytes;
+    PageNum last = PageNum((std::uint64_t(addr) + len - 1) / page_bytes);
+    for (PageNum p = first; p <= last; ++p) {
+        if (!at(p).enabled)
+            return false;
+    }
+    return true;
+}
+
+} // namespace shrimp::nic

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * IncomingPageTable (IPT): one entry per page of node memory. The enable
+ * flag says whether the network interface may transfer data into that
+ * page; data arriving for a disabled page freezes the receive datapath
+ * and interrupts the node CPU. The interrupt flag is the
+ * receiver-specified half of the notification mechanism: a notification
+ * fires only when both the sender-specified packet flag and this flag
+ * are set (paper section 3.2).
+ */
+
+#ifndef SHRIMP_NIC_INCOMING_PAGE_TABLE_HH
+#define SHRIMP_NIC_INCOMING_PAGE_TABLE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace shrimp::nic
+{
+
+class IncomingPageTable
+{
+  public:
+    explicit IncomingPageTable(std::size_t num_pages);
+
+    void setEnabled(PageNum page, bool enabled);
+    void setInterrupt(PageNum page, bool interrupt);
+
+    bool enabled(PageNum page) const;
+    bool interrupt(PageNum page) const;
+
+    /** True when every page covering [addr, addr+len) is enabled. */
+    bool rangeEnabled(PAddr addr, std::size_t len,
+                      std::size_t page_bytes) const;
+
+    std::size_t numPages() const { return entries_.size(); }
+    std::size_t numEnabled() const { return numEnabled_; }
+
+  private:
+    struct Entry
+    {
+        bool enabled = false;
+        bool interrupt = false;
+    };
+
+    const Entry &at(PageNum page) const;
+
+    std::vector<Entry> entries_;
+    std::size_t numEnabled_ = 0;
+};
+
+} // namespace shrimp::nic
+
+#endif // SHRIMP_NIC_INCOMING_PAGE_TABLE_HH

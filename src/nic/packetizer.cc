@@ -1,0 +1,103 @@
+#include "nic/packetizer.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace shrimp::nic
+{
+
+Packetizer::Packetizer(sim::Simulator &sim, const MachineConfig &cfg,
+                       NodeId self, sim::Channel<net::Packet> &out_fifo)
+    : sim_(sim), cfg_(cfg), self_(self), outFifo_(out_fifo)
+{
+}
+
+void
+Packetizer::auWrite(const OptEntry &e, PAddr dest_addr, const void *data,
+                    std::size_t len)
+{
+    if (len == 0)
+        return;
+
+    if (pending_) {
+        bool consecutive = pending_->dst == e.destNode &&
+                           pending_->destAddr +
+                               PAddr(pending_->payload.size()) == dest_addr;
+        bool fits = pending_->payload.size() + len <= cfg_.auCombineLimit;
+        if (e.combinable && consecutive && fits &&
+            pending_->senderInterrupt == e.destInterrupt) {
+            const auto *bytes = static_cast<const std::uint8_t *>(data);
+            pending_->payload.insert(pending_->payload.end(), bytes,
+                                     bytes + len);
+            ++writesCombined_;
+            armTimer();
+            if (pending_->payload.size() >= cfg_.auCombineLimit)
+                flushPending();
+            return;
+        }
+        // Non-consecutive (or non-combinable) update: the pending packet
+        // goes out first so data leaves in program order.
+        flushPending();
+    }
+
+    startPending(e, dest_addr, data, len);
+
+    if (!e.combinable || pending_->payload.size() >= cfg_.auCombineLimit) {
+        flushPending();
+    } else if (e.timerEnabled) {
+        armTimer();
+    }
+}
+
+void
+Packetizer::startPending(const OptEntry &e, PAddr dest_addr,
+                         const void *data, std::size_t len)
+{
+    net::Packet pkt;
+    pkt.src = self_;
+    pkt.dst = e.destNode;
+    pkt.destAddr = dest_addr;
+    pkt.senderInterrupt = e.destInterrupt;
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    pkt.payload.assign(bytes, bytes + len);
+    pending_ = std::move(pkt);
+    pendingTimerEnabled_ = e.timerEnabled;
+}
+
+void
+Packetizer::armTimer()
+{
+    if (!pendingTimerEnabled_)
+        return;
+    std::uint64_t gen = ++timerGen_;
+    sim_.queue().scheduleIn(cfg_.auCombineTimeout, [this, gen] {
+        if (pending_ && gen == timerGen_) {
+            ++timerFlushes_;
+            flushPending();
+        }
+    });
+}
+
+void
+Packetizer::flushPending()
+{
+    if (!pending_)
+        return;
+    ++timerGen_; // cancel any armed timer
+    ++packetsFormed_;
+    outFifo_.send(std::move(*pending_));
+    pending_.reset();
+}
+
+void
+Packetizer::duPacket(net::Packet pkt)
+{
+    // Deliberate-update data must not overtake earlier automatic updates.
+    flushPending();
+    pkt.src = self_;
+    ++packetsFormed_;
+    outFifo_.send(std::move(pkt));
+}
+
+} // namespace shrimp::nic

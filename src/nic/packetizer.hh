@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Packetizer + Outgoing FIFO: forms packets from snooped automatic
+ * updates and from deliberate-update engine data (paper section 3.2).
+ *
+ * For automatic update, if the source page is configured for combining,
+ * a write to the address immediately following the pending packet's data
+ * is appended instead of starting a new packet. A non-consecutive write
+ * (or a write through a different OPT entry) flushes the pending packet
+ * first, preserving program order. A hardware timer flushes a pending
+ * packet when no subsequent update arrives within the timeout.
+ *
+ * Deliberate-update packets are never combined; emitting one flushes any
+ * pending automatic-update packet first so that all data leaves the node
+ * in program order (the backplane then preserves it end to end).
+ */
+
+#ifndef SHRIMP_NIC_PACKETIZER_HH
+#define SHRIMP_NIC_PACKETIZER_HH
+
+#include <cstddef>
+#include <optional>
+
+#include "base/config.hh"
+#include "base/stats.hh"
+#include "net/packet.hh"
+#include "nic/outgoing_page_table.hh"
+#include "sim/simulator.hh"
+#include "sim/sync.hh"
+
+namespace shrimp::nic
+{
+
+class Packetizer
+{
+  public:
+    Packetizer(sim::Simulator &sim, const MachineConfig &cfg, NodeId self,
+               sim::Channel<net::Packet> &out_fifo);
+
+    /**
+     * A snooped automatic-update write of @p len bytes that hit OPT
+     * entry @p e, destined for physical address @p dest_addr on the
+     * remote node. May combine with the pending packet.
+     */
+    void auWrite(const OptEntry &e, PAddr dest_addr, const void *data,
+                 std::size_t len);
+
+    /** Enqueue a fully-formed deliberate-update packet. */
+    void duPacket(net::Packet pkt);
+
+    /** Flush the pending combined packet, if any. */
+    void flushPending();
+
+    bool hasPending() const { return pending_.has_value(); }
+
+    std::uint64_t packetsFormed() const { return packetsFormed_; }
+    std::uint64_t writesCombined() const { return writesCombined_; }
+    std::uint64_t timerFlushes() const { return timerFlushes_; }
+
+  private:
+    void startPending(const OptEntry &e, PAddr dest_addr, const void *data,
+                      std::size_t len);
+    void armTimer();
+
+    sim::Simulator &sim_;
+    const MachineConfig &cfg_;
+    NodeId self_;
+    sim::Channel<net::Packet> &outFifo_;
+
+    std::optional<net::Packet> pending_;
+    bool pendingTimerEnabled_ = false;
+    std::uint64_t timerGen_ = 0;
+
+    std::uint64_t packetsFormed_ = 0;
+    std::uint64_t writesCombined_ = 0;
+    std::uint64_t timerFlushes_ = 0;
+};
+
+} // namespace shrimp::nic
+
+#endif // SHRIMP_NIC_PACKETIZER_HH

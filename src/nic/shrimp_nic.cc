@@ -1,0 +1,76 @@
+#include "nic/shrimp_nic.hh"
+
+#include "base/logging.hh"
+
+namespace shrimp::nic
+{
+
+ShrimpNic::ShrimpNic(sim::Simulator &sim, const MachineConfig &cfg,
+                     NodeId self, mem::Memory &memory, sim::Bus &eisa,
+                     sim::Channel<net::Packet> &input)
+    : sim_(sim), cfg_(cfg), self_(self), mem_(memory),
+      outFifo_(sim.queue()), opt_(memory.numPages()),
+      ipt_(memory.numPages()), packetizer_(sim, cfg, self, outFifo_),
+      duEngine_(cfg, memory, eisa, packetizer_),
+      incoming_(sim, cfg, memory, eisa, ipt_, input)
+{
+}
+
+void
+ShrimpNic::setInjector(std::function<void(net::Packet)> inject)
+{
+    inject_ = std::move(inject);
+}
+
+void
+ShrimpNic::start()
+{
+    if (started_)
+        panic("ShrimpNic started twice");
+    started_ = true;
+    // spawnDaemon: these loops run for the life of the machine.
+    sim_.spawnDaemon(pumpLoop());
+    sim_.spawnDaemon(incoming_.loop());
+}
+
+sim::Task<>
+ShrimpNic::pumpLoop()
+{
+    for (;;) {
+        net::Packet pkt = co_await outFifo_.recv();
+        // Arbiter + NIC processor port + packet-header formation.
+        co_await sim::Delay{sim_.queue(),
+                            cfg_.nicForwardCost + cfg_.snoopPacketizeCost};
+        if (!inject_)
+            panic("NIC has no mesh injector installed");
+        ++injected_;
+        inject_(std::move(pkt));
+    }
+}
+
+void
+ShrimpNic::snoopWrite(PAddr addr, const void *data, std::size_t len)
+{
+    if (len == 0)
+        return;
+    PageNum page = mem_.pageOf(addr);
+    if (mem_.pageOf(addr + PAddr(len) - 1) != page)
+        panic("snooped write crosses a page boundary");
+    const OptEntry *e = opt_.lookupPage(page);
+    if (!e)
+        return;
+    PAddr dest = e->destBase + PAddr(addr % cfg_.pageBytes);
+    packetizer_.auWrite(*e, dest, data, len);
+}
+
+sim::Task<>
+ShrimpNic::deliberateSend(std::uint32_t slot, std::size_t dst_off,
+                          PAddr src, std::size_t len, bool notify)
+{
+    const OptEntry *e = opt_.slot(slot);
+    if (!e)
+        panic("deliberateSend through unknown import slot");
+    co_await duEngine_.send(*e, dst_off, src, len, notify);
+}
+
+} // namespace shrimp::nic

@@ -1,0 +1,26 @@
+#include "node/cpu.hh"
+
+namespace shrimp::node
+{
+
+Cpu::Cpu(sim::EventQueue &queue, const MachineConfig &cfg)
+    : queue_(queue), cfg_(cfg), lock_(queue, 1)
+{
+}
+
+sim::Task<>
+Cpu::use(Tick t)
+{
+    co_await lock_.acquire();
+    co_await sim::Delay{queue_, t};
+    busyTime_ += t;
+    lock_.release();
+}
+
+Tick
+Cpu::copyTime(std::size_t bytes, CacheMode mode) const
+{
+    return units::transferTime(bytes, cfg_.copyBw(mode));
+}
+
+} // namespace shrimp::node

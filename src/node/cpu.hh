@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Cpu: the node processor as a serially-shared timing resource. All
+ * compute performed by the (possibly several) processes of a node flows
+ * through use(), which serializes them and charges simulated time. The
+ * per-operation costs of the 60 MHz Pentium are in MachineConfig.
+ */
+
+#ifndef SHRIMP_NODE_CPU_HH
+#define SHRIMP_NODE_CPU_HH
+
+#include "base/config.hh"
+#include "base/types.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+
+namespace shrimp::node
+{
+
+class Cpu
+{
+  public:
+    Cpu(sim::EventQueue &queue, const MachineConfig &cfg);
+
+    /** Occupy the CPU for @p t ticks of computation. */
+    sim::Task<> use(Tick t);
+
+    /** Time to memcpy @p bytes to a destination with cache mode
+     *  @p mode (excluding the per-call overhead). */
+    Tick copyTime(std::size_t bytes, CacheMode mode) const;
+
+    const MachineConfig &config() const { return cfg_; }
+    Tick busyTime() const { return busyTime_; }
+
+  private:
+    sim::EventQueue &queue_;
+    const MachineConfig &cfg_;
+    sim::Semaphore lock_;
+    Tick busyTime_ = 0;
+};
+
+} // namespace shrimp::node
+
+#endif // SHRIMP_NODE_CPU_HH

@@ -1,0 +1,45 @@
+#include "node/node.hh"
+
+#include "base/logging.hh"
+#include "node/ether.hh"
+#include "node/process.hh"
+
+namespace shrimp::node
+{
+
+Node::Node(sim::Simulator &sim, const MachineConfig &cfg, NodeId id,
+           sim::Channel<net::Packet> &router_eject)
+    : sim_(sim), cfg_(cfg), id_(id),
+      mem_(sim.queue(), cfg.nodeMemBytes, cfg.pageBytes,
+           "node" + std::to_string(id) + ".mem"),
+      eisa_(sim.queue(), cfg.eisaDmaBw,
+            "node" + std::to_string(id) + ".eisa"),
+      cpu_(sim.queue(), cfg),
+      nic_(sim, cfg, id, mem_, eisa_, router_eject)
+{
+}
+
+Node::~Node() = default;
+
+EtherNet &
+Node::ether()
+{
+    if (!ether_)
+        panic("node has no Ethernet attached");
+    return *ether_;
+}
+
+void
+Node::start()
+{
+    nic_.start();
+}
+
+Process &
+Node::spawnProcess()
+{
+    procs_.push_back(std::make_unique<Process>(*this, int(procs_.size())));
+    return *procs_.back();
+}
+
+} // namespace shrimp::node

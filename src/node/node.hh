@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Node: one DEC 560ST PC of the prototype — Pentium CPU (cost model),
+ * main memory, the EISA expansion bus, and the SHRIMP network interface
+ * plugged into both the memory bus (snooping) and the EISA bus (DMA).
+ */
+
+#ifndef SHRIMP_NODE_NODE_HH
+#define SHRIMP_NODE_NODE_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/config.hh"
+#include "mem/memory.hh"
+#include "net/packet.hh"
+#include "nic/shrimp_nic.hh"
+#include "node/cpu.hh"
+#include "sim/bus.hh"
+#include "sim/simulator.hh"
+
+namespace shrimp::node
+{
+
+class EtherNet;
+class Process;
+
+class Node
+{
+  public:
+    Node(sim::Simulator &sim, const MachineConfig &cfg, NodeId id,
+         sim::Channel<net::Packet> &router_eject);
+    ~Node();
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+
+    /** Start the NIC service loops. */
+    void start();
+
+    /** Attach the machine's Ethernet (wired by Machine). */
+    void setEther(EtherNet *ether) { ether_ = ether; }
+
+    /** The commodity Ethernet side channel. */
+    EtherNet &ether();
+
+    /** Create a new user process on this node. */
+    Process &spawnProcess();
+
+    NodeId id() const { return id_; }
+    sim::Simulator &sim() { return sim_; }
+    const MachineConfig &config() const { return cfg_; }
+    mem::Memory &memory() { return mem_; }
+    sim::Bus &eisa() { return eisa_; }
+    Cpu &cpu() { return cpu_; }
+    nic::ShrimpNic &nic() { return nic_; }
+
+    std::size_t numProcesses() const { return procs_.size(); }
+    Process &process(std::size_t i) { return *procs_.at(i); }
+
+  private:
+    sim::Simulator &sim_;
+    const MachineConfig &cfg_;
+    NodeId id_;
+    mem::Memory mem_;
+    sim::Bus eisa_;
+    Cpu cpu_;
+    nic::ShrimpNic nic_;
+    EtherNet *ether_ = nullptr;
+    std::vector<std::unique_ptr<Process>> procs_;
+};
+
+} // namespace shrimp::node
+
+#endif // SHRIMP_NODE_NODE_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Process: a user process on a node. Owns an address space and provides
+ * the *timed* memory operations that all user-level code in the
+ * communication libraries is written against:
+ *
+ *  - write()/copy() model CPU stores, charge copy time according to the
+ *    destination page's cache mode, and pass each chunk to the NIC snoop
+ *    logic (so stores to automatic-update-bound pages become packets,
+ *    "eliminating the need for an explicit send operation");
+ *  - waitWord32() is the polling receive primitive: it charges a poll
+ *    cost per check and sleeps on memory write watchpoints in between,
+ *    plus the cache-invalidation penalty when the polled page is cached;
+ *  - peek()/poke() are untimed accessors for test setup and inspection.
+ */
+
+#ifndef SHRIMP_NODE_PROCESS_HH
+#define SHRIMP_NODE_PROCESS_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "base/config.hh"
+#include "mem/address_space.hh"
+#include "node/node.hh"
+#include "sim/task.hh"
+
+namespace shrimp::node
+{
+
+class Process
+{
+  public:
+    Process(Node &node, int pid);
+
+    Node &node() { return node_; }
+    NodeId nodeId() const { return node_.id(); }
+    int pid() const { return pid_; }
+    mem::AddressSpace &as() { return as_; }
+    const MachineConfig &config() const { return node_.config(); }
+    sim::Simulator &sim() { return node_.sim(); }
+
+    /** Allocate fresh page-aligned memory. */
+    VAddr alloc(std::size_t bytes, CacheMode mode = CacheMode::WriteBack);
+
+    // ---- untimed accessors (test setup / inspection; no snooping) -----
+    void poke(VAddr addr, const void *src, std::size_t n);
+    void peek(VAddr addr, void *dst, std::size_t n) const;
+    std::uint32_t peek32(VAddr addr) const;
+    void poke32(VAddr addr, std::uint32_t v);
+
+    // ---- timed operations ---------------------------------------------
+    /** Occupy the CPU for @p t ticks. */
+    sim::Task<> compute(Tick t);
+
+    /** Store @p n bytes at @p dst: charges copy time by the destination
+     *  cache mode and feeds the NIC snoop logic chunk by chunk, so
+     *  stores into AU-bound pages stream out as packets. */
+    sim::Task<> write(VAddr dst, const void *src, std::size_t n);
+
+    /** Load @p n bytes from @p src into host memory. */
+    sim::Task<> read(VAddr src, void *dst, std::size_t n);
+
+    /** Local memcpy between two mapped regions (timed, snooped). */
+    sim::Task<> copy(VAddr dst, VAddr src, std::size_t n);
+
+    sim::Task<> store32(VAddr addr, std::uint32_t v);
+    sim::Task<std::uint32_t> load32(VAddr addr);
+
+    /**
+     * Poll the word at @p addr until @p pred(value) holds; returns the
+     * satisfying value. This is the canonical receive-side wait.
+     */
+    sim::Task<std::uint32_t> waitWord32(
+        VAddr addr, std::function<bool(std::uint32_t)> pred);
+
+    /** Poll until the word differs from @p not_value. */
+    sim::Task<std::uint32_t> waitWord32Ne(VAddr addr,
+                                          std::uint32_t not_value);
+
+    /** Poll until the word equals @p value. */
+    sim::Task<std::uint32_t> waitWord32Eq(VAddr addr, std::uint32_t value);
+
+    /**
+     * One iteration of a multi-location poll loop: charge one poll
+     * check's cost, then sleep until the next write to node memory.
+     * Callers rescan their predicate afterwards.
+     */
+    sim::Task<> pollSleep();
+
+    /** Charge the cache-invalidation detection penalty for data that
+     *  just arrived at @p addr (no charge for uncached pages). */
+    sim::Task<> detectPenalty(VAddr addr);
+
+  private:
+    Node &node_;
+    int pid_;
+    mem::AddressSpace as_;
+};
+
+} // namespace shrimp::node
+
+#endif // SHRIMP_NODE_PROCESS_HH

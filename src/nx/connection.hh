@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Connection: the point-to-point building block of the NX compatibility
+ * library (paper section 4.1). A connection between two processes
+ * consists of a receive region exported by each side and imported by the
+ * other, plus automatic-update bindings for marshalled data and control
+ * information.
+ *
+ * Region layout (all offsets page-aligned between sections):
+ *
+ *   [ packet buffers ]  NBUF fixed-size buffers, each PKT_DATA bytes of
+ *                       payload followed by a 16-byte descriptor. Data
+ *                       is right-justified (word-rounded) against the
+ *                       descriptor so a marshalled message plus its
+ *                       descriptor is one consecutive write run that the
+ *                       NIC combines into a single packet.
+ *   [ control page ]    credit ring (receiver -> sender, identifies the
+ *                       specific packet buffer freed, since messages may
+ *                       be consumed out of order), reply ring (receiver
+ *                       answers to large-message scouts: export key +
+ *                       offset of the user receive buffer), done ring
+ *                       (sender's transfer-complete flags), and a
+ *                       request-credit flag.
+ *
+ * The descriptor stamp is a per-connection monotonically increasing
+ * sequence number; stamp 0 means "buffer empty". Because SHRIMP delivers
+ * packets in order and the descriptor is written after the payload, a
+ * nonzero stamp guarantees the payload is in place.
+ */
+
+#ifndef SHRIMP_NX_CONNECTION_HH
+#define SHRIMP_NX_CONNECTION_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "vmmc/vmmc.hh"
+
+namespace shrimp::nx
+{
+
+/** Which small-message send variant to use (the curves of Figure 4). */
+enum class SendMode
+{
+    Auto,      //!< AU marshal for tiny, DU-1copy mid, zero-copy large
+    AuMarshal, //!< copy into the AU-bound area (the copy is the send)
+    DuTwoCopy, //!< marshal data+descriptor, one deliberate update
+    DuOneCopy, //!< data straight from user memory, separate DU for desc
+    ZeroCopy,  //!< force the large-message scout protocol
+};
+
+/** Library tuning knobs (per NxSystem). */
+struct NxOptions
+{
+    std::size_t pktDataBytes = 2048; //!< payload bytes per packet buffer
+    int numBufs = 8;                 //!< packet buffers per direction
+    std::size_t largeThreshold = 1024; //!< Auto: scout protocol above this
+    std::size_t auThreshold = 256;     //!< Auto: AU marshal below this
+    std::size_t safeCopyBytes = 64 * 1024; //!< sender-side safe buffer
+    SendMode mode = SendMode::Auto;
+};
+
+/** On-wire message descriptor (one per packet buffer). */
+struct NxDesc
+{
+    std::uint32_t stamp = 0; //!< sequence; 0 = empty
+    std::uint32_t type = 0;  //!< NX message type
+    std::uint32_t size = 0;  //!< payload bytes in this fragment
+    std::uint32_t frag = 0;  //!< (index << 16) | total fragments
+};
+
+/** Content of a scout message (the "special message descriptor"). */
+struct ScoutInfo
+{
+    std::uint32_t magic = 0x53434f55; // "SCOU"
+    std::uint32_t totalLen = 0;
+};
+
+/** A reply-ring entry: where the sender should place the data. */
+struct ReplyEntry
+{
+    std::uint32_t stamp = 0; //!< scout stamp being answered; 0 = empty
+    std::uint32_t key = 0;   //!< export key of the receiver's user buffer
+    std::uint32_t off = 0;   //!< byte offset within that export
+    std::uint32_t pad = 0;
+};
+
+constexpr std::size_t nxDescBytes = sizeof(NxDesc);
+constexpr int nxReplyRing = 8;
+constexpr int nxDoneRing = 8;
+
+/**
+ * One process's half of a connection to one peer. Owns the local
+ * receive region (imported by the peer), the import of the peer's
+ * region, and AU-bound staging areas for marshalled data and control.
+ */
+class Connection
+{
+  public:
+    Connection(vmmc::Endpoint &ep, int my_rank, int peer_rank,
+               NodeId peer_node, const NxOptions &opt);
+
+    /** Export the local region (key derivation is symmetric). */
+    sim::Task<> exportSide();
+
+    /** Import the peer's region and create the AU bindings; call after
+     *  every rank finished exportSide(). */
+    sim::Task<> importSide();
+
+    int peerRank() const { return peerRank_; }
+    NodeId peerNode() const { return peerNode_; }
+
+    // ---- send side -------------------------------------------------------
+
+    /** True if a packet buffer credit is available without waiting. */
+    bool creditAvailable();
+
+    /**
+     * Take a free peer packet buffer, waiting for a credit if none is
+     * free (after prodding the receiver with a notification, as the
+     * paper describes).
+     * @return buffer index
+     */
+    sim::Task<int> acquireBuffer();
+
+    /**
+     * Send one fragment into peer buffer @p buf_idx using @p mode.
+     * @p data points at host memory with the payload (marshal modes) and
+     * @p user_addr is the in-simulation source (DuOneCopy).
+     */
+    sim::Task<> sendFragment(int buf_idx, const NxDesc &desc,
+                             const std::uint8_t *data, VAddr user_addr,
+                             SendMode mode);
+
+    /** Next stamp for a message/fragment I send. */
+    std::uint32_t takeStamp() { return nextSendStamp_++; }
+
+    /** Scan the reply ring for an answer to scout @p stamp. */
+    bool findReply(std::uint32_t stamp, ReplyEntry &out);
+
+    /** Write a done flag for scout @p stamp into the peer's done ring. */
+    sim::Task<> postDone(std::uint32_t stamp);
+
+    /** Deliberate-update data into the peer's exported user buffer. */
+    sim::Task<vmmc::Status> sendDirect(std::uint32_t key, std::size_t off,
+                                       VAddr src, std::size_t len);
+
+    // ---- receive side ----------------------------------------------------
+
+    /** Local descriptor of buffer @p i (reads local memory, untimed). */
+    NxDesc peekDesc(int i) const;
+
+    /** Virtual address of buffer @p i's payload end (descriptor start). */
+    VAddr descAddr(int i) const;
+    VAddr bufDataEnd(int i) const { return descAddr(i); }
+
+    /** Copy a consumed fragment out of buffer @p i into @p dst. */
+    sim::Task<> copyOut(int i, std::size_t size, VAddr dst,
+                        std::size_t dst_len, std::size_t dst_off);
+
+    /** Read a fragment's payload into host memory (for scout decode). */
+    void peekPayload(int i, std::size_t size, void *out) const;
+
+    /** Mark buffer @p i consumed and return its credit to the sender. */
+    sim::Task<> releaseBuffer(int i);
+
+    /** Post a scout reply: tell the sender where to put the data and
+     *  how much it may send. */
+    sim::Task<> postReply(std::uint32_t stamp, std::uint32_t key,
+                          std::uint32_t off, std::uint32_t accept);
+
+    /** Scan the done ring for the sender's completion of @p stamp. */
+    bool findDone(std::uint32_t stamp);
+
+    /** True if the peer has raised the request-credit flag. */
+    bool creditRequested() const;
+
+    // ---- bookkeeping -----------------------------------------------------
+
+    vmmc::Endpoint &endpoint() { return ep_; }
+    const NxOptions &options() const { return opt_; }
+
+    std::uint64_t creditStalls() const { return creditStalls_; }
+
+  private:
+    static std::uint32_t regionKey(int importer_rank, int exporter_rank);
+
+    std::size_t bufStride() const { return opt_.pktDataBytes + nxDescBytes; }
+    std::size_t dataAreaBytes() const;
+    std::size_t regionBytes() const;
+
+    // Control-area offsets, relative to the control page. AU writes go
+    // through auCtl_ + off; local reads through ctlBase() + off.
+    std::size_t creditRingOff() const { return 0; }
+    std::size_t creditEntries() const { return std::size_t(2 * opt_.numBufs); }
+    std::size_t replyRingOff() const;
+    std::size_t doneRingOff() const;
+    std::size_t reqFlagOff() const;
+
+    /** Local (receive-side) address of the control page. */
+    VAddr ctlBase() const { return VAddr(region_ + dataAreaBytes()); }
+
+    vmmc::Endpoint &ep_;
+    int myRank_;
+    int peerRank_;
+    NodeId peerNode_;
+    NxOptions opt_;
+
+    VAddr region_ = 0;    //!< local receive region (peer writes here)
+    VAddr auData_ = 0;    //!< AU-bound marshal area -> peer packet bufs
+    VAddr auCtl_ = 0;     //!< AU-bound area -> peer control page
+    VAddr stage_ = 0;     //!< staging area for DU marshalling
+    int importHandle_ = -1;
+
+    /** Import cache for peers' exported user receive buffers (the
+     *  "if it hasn't done so already, the sender imports that buffer"
+     *  of the zero-copy protocol). */
+    std::map<std::uint32_t, int> userImports_;
+
+    // send-side state
+    std::vector<int> freeBufs_;
+    std::uint32_t creditsTaken_ = 0; //!< credits consumed from the ring
+    std::uint32_t nextSendStamp_ = 1;
+    std::uint32_t repliesSeen_ = 0;
+
+    // receive-side state
+    std::uint32_t creditsReturned_ = 0;
+    std::uint32_t repliesPosted_ = 0;
+    std::uint32_t donesPosted_ = 0;
+
+    std::uint64_t creditStalls_ = 0;
+};
+
+} // namespace shrimp::nx
+
+#endif // SHRIMP_NX_CONNECTION_HH

@@ -1,0 +1,79 @@
+#include "rpc/client.hh"
+
+#include "base/logging.hh"
+
+namespace shrimp::rpc
+{
+
+VrpcClient::VrpcClient(vmmc::Endpoint &ep, VrpcOptions opt)
+    : ep_(ep), opt_(opt)
+{
+}
+
+sim::Task<bool>
+VrpcClient::connect(NodeId server, std::uint16_t port, std::uint32_t prog,
+                    std::uint32_t vers)
+{
+    co_await ep_.proc().compute(ep_.proc().config().libCallCost);
+    transport_ = std::make_unique<VrpcTransport>(ep_, opt_.queueBytes);
+    bool up = co_await transport_->connect(server, port);
+    if (!up) {
+        transport_.reset();
+        co_return false;
+    }
+    prog_ = prog;
+    vers_ = vers;
+    co_return true;
+}
+
+sim::Task<AcceptStat>
+VrpcClient::call(std::uint32_t proc, EncodeFn encode_args,
+                 DecodeFn decode_results)
+{
+    if (!transport_)
+        panic("clnt_call on an unconnected client");
+    node::Process &p = ep_.proc();
+
+    // "About 7 usecs are spent in preparing the header and making the
+    // call": library entry plus the header fields encoded below.
+    co_await p.compute(p.config().libCallCost);
+
+    StreamSink sink(transport_->stream(), p, opt_.proto);
+    XdrEncoder enc(sink);
+    CallHeader hdr;
+    hdr.xid = nextXid_++;
+    hdr.prog = prog_;
+    hdr.vers = vers_;
+    hdr.proc = proc;
+    co_await hdr.encode(enc);
+    if (encode_args)
+        co_await encode_args(enc);
+    // One control transfer publishes the whole call record.
+    co_await sink.drain();
+    co_await transport_->stream().flushTail();
+    ++calls_;
+
+    // Wait for and decode the reply.
+    StreamSource source(transport_->stream(), p);
+    XdrDecoder dec(source);
+    ReplyHeader rh = co_await ReplyHeader::decode(dec);
+    if (rh.xid != hdr.xid)
+        panic("RPC reply xid mismatch");
+    if (rh.stat == AcceptStat::Success && decode_results)
+        co_await decode_results(dec);
+    co_await transport_->stream().flushAck();
+    // "1-2 usecs in returning from the call."
+    co_await p.compute(2 * p.config().cpuOpCost);
+    co_return rh.stat;
+}
+
+sim::Task<>
+VrpcClient::close()
+{
+    if (transport_) {
+        co_await transport_->close();
+        transport_.reset();
+    }
+}
+
+} // namespace shrimp::rpc

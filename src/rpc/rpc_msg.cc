@@ -1,0 +1,98 @@
+#include "rpc/rpc_msg.hh"
+
+#include "base/logging.hh"
+
+namespace shrimp::rpc
+{
+
+const char *
+acceptStatName(AcceptStat s)
+{
+    switch (s) {
+      case AcceptStat::Success:
+        return "SUCCESS";
+      case AcceptStat::ProgUnavail:
+        return "PROG_UNAVAIL";
+      case AcceptStat::ProgMismatch:
+        return "PROG_MISMATCH";
+      case AcceptStat::ProcUnavail:
+        return "PROC_UNAVAIL";
+      case AcceptStat::GarbageArgs:
+        return "GARBAGE_ARGS";
+      case AcceptStat::SystemErr:
+        return "SYSTEM_ERR";
+    }
+    return "?";
+}
+
+sim::Task<>
+CallHeader::encode(XdrEncoder &enc) const
+{
+    co_await enc.putU32(xid);
+    co_await enc.putU32(std::uint32_t(MsgType::Call));
+    co_await enc.putU32(rpcVersion);
+    co_await enc.putU32(prog);
+    co_await enc.putU32(vers);
+    co_await enc.putU32(proc);
+    // AUTH_NONE credential and verifier.
+    co_await enc.putU32(0);
+    co_await enc.putU32(0);
+    co_await enc.putU32(0);
+    co_await enc.putU32(0);
+}
+
+sim::Task<CallHeader>
+CallHeader::decode(XdrDecoder &dec)
+{
+    CallHeader h;
+    h.xid = co_await dec.getU32();
+    std::uint32_t mtype = co_await dec.getU32();
+    if (mtype != std::uint32_t(MsgType::Call))
+        panic("expected an RPC CALL message");
+    std::uint32_t rpcvers = co_await dec.getU32();
+    if (rpcvers != rpcVersion)
+        panic("unsupported RPC protocol version");
+    h.prog = co_await dec.getU32();
+    h.vers = co_await dec.getU32();
+    h.proc = co_await dec.getU32();
+    std::uint32_t cred_flavor = co_await dec.getU32();
+    std::uint32_t cred_len = co_await dec.getU32();
+    if (cred_flavor != 0 || cred_len != 0)
+        panic("only AUTH_NONE credentials are supported");
+    std::uint32_t verf_flavor = co_await dec.getU32();
+    std::uint32_t verf_len = co_await dec.getU32();
+    if (verf_flavor != 0 || verf_len != 0)
+        panic("only AUTH_NONE verifiers are supported");
+    co_return h;
+}
+
+sim::Task<>
+ReplyHeader::encode(XdrEncoder &enc) const
+{
+    co_await enc.putU32(xid);
+    co_await enc.putU32(std::uint32_t(MsgType::Reply));
+    co_await enc.putU32(0); // MSG_ACCEPTED
+    co_await enc.putU32(0); // verf AUTH_NONE
+    co_await enc.putU32(0);
+    co_await enc.putU32(std::uint32_t(stat));
+}
+
+sim::Task<ReplyHeader>
+ReplyHeader::decode(XdrDecoder &dec)
+{
+    ReplyHeader h;
+    h.xid = co_await dec.getU32();
+    std::uint32_t mtype = co_await dec.getU32();
+    if (mtype != std::uint32_t(MsgType::Reply))
+        panic("expected an RPC REPLY message");
+    std::uint32_t reply_stat = co_await dec.getU32();
+    if (reply_stat != 0)
+        panic("MSG_DENIED replies are not produced by this server");
+    co_await dec.getU32(); // verf flavor
+    co_await dec.getU32(); // verf len
+    std::uint32_t stat_word = co_await dec.getU32();
+    h.stat = AcceptStat(stat_word);
+    co_return h;
+}
+
+} // namespace shrimp::rpc

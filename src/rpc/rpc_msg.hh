@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The SunRPC message protocol of RFC 1057: call and reply headers with
+ * AUTH_NONE credentials. VRPC keeps this wire format bit-for-bit (full
+ * compatibility); only the transport underneath changed.
+ */
+
+#ifndef SHRIMP_RPC_RPC_MSG_HH
+#define SHRIMP_RPC_RPC_MSG_HH
+
+#include <cstdint>
+
+#include "rpc/xdr.hh"
+
+namespace shrimp::rpc
+{
+
+constexpr std::uint32_t rpcVersion = 2;
+
+enum class MsgType : std::uint32_t
+{
+    Call = 0,
+    Reply = 1,
+};
+
+enum class AcceptStat : std::uint32_t
+{
+    Success = 0,
+    ProgUnavail = 1,
+    ProgMismatch = 2,
+    ProcUnavail = 3,
+    GarbageArgs = 4,
+    SystemErr = 5,
+};
+
+const char *acceptStatName(AcceptStat s);
+
+struct CallHeader
+{
+    std::uint32_t xid = 0;
+    std::uint32_t prog = 0;
+    std::uint32_t vers = 0;
+    std::uint32_t proc = 0;
+
+    /** Wire size: xid, mtype, rpcvers, prog, vers, proc, cred(2), verf(2). */
+    static constexpr std::size_t wireBytes = 10 * 4;
+
+    sim::Task<> encode(XdrEncoder &enc) const;
+
+    /** Decode; panics on a non-CALL message or wrong RPC version. */
+    static sim::Task<CallHeader> decode(XdrDecoder &dec);
+};
+
+struct ReplyHeader
+{
+    std::uint32_t xid = 0;
+    AcceptStat stat = AcceptStat::Success;
+
+    /** Wire size: xid, mtype, reply_stat, verf(2), accept_stat. */
+    static constexpr std::size_t wireBytes = 6 * 4;
+
+    sim::Task<> encode(XdrEncoder &enc) const;
+    static sim::Task<ReplyHeader> decode(XdrDecoder &dec);
+};
+
+} // namespace shrimp::rpc
+
+#endif // SHRIMP_RPC_RPC_MSG_HH

@@ -1,0 +1,36 @@
+#include "sim/bus.hh"
+
+#include "base/logging.hh"
+
+namespace shrimp::sim
+{
+
+Bus::Bus(EventQueue &queue, double mb_per_sec, std::string name)
+    : queue_(queue), bw_(mb_per_sec), lock_(queue, 1),
+      stats_(std::move(name))
+{
+    if (bw_ <= 0.0)
+        fatal("bus bandwidth must be positive");
+}
+
+Tick
+Bus::occupancy(std::size_t bytes, Tick setup) const
+{
+    return setup + units::transferTime(bytes, bw_);
+}
+
+Task<>
+Bus::transfer(std::size_t bytes, Tick setup)
+{
+    co_await lock_.acquire();
+    Tick t = occupancy(bytes, setup);
+    co_await Delay{queue_, t};
+    busyTime_ += t;
+    bytes_ += bytes;
+    ++transactions_;
+    stats_.counter("transactions") += 1;
+    stats_.counter("bytes") += bytes;
+    lock_.release();
+}
+
+} // namespace shrimp::sim

@@ -1,0 +1,115 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+#include "sim/simulator.hh"
+
+namespace shrimp::sim
+{
+
+void
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    if (when < now_)
+        panic("event scheduled in the past");
+    heap_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+void
+EventQueue::scheduleIn(Tick delay, std::function<void()> fn)
+{
+    schedule(now_ + delay, std::move(fn));
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // Copy out; the callback may schedule more events (reallocating the
+    // heap) or even recursively inspect the queue.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.when;
+    ev.fn();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (runOne()) {
+        if (++n > max_events)
+            panic("event limit exceeded; runaway simulation?");
+    }
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until, std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (!heap_.empty() && heap_.top().when <= until) {
+        runOne();
+        if (++n > max_events)
+            panic("event limit exceeded; runaway simulation?");
+    }
+    if (now_ < until)
+        now_ = until;
+    return n;
+}
+
+void
+Simulator::spawn(Task<> task)
+{
+    runDetached(std::move(task));
+}
+
+Simulator::Detached
+Simulator::runDetached(Task<> task)
+{
+    ++active_;
+    try {
+        co_await std::move(task);
+    } catch (...) {
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
+    --active_;
+}
+
+void
+Simulator::spawnDaemon(Task<> task)
+{
+    daemons_.push_back(std::move(task));
+    daemons_.back().start();
+}
+
+std::uint64_t
+Simulator::run(std::uint64_t max_events)
+{
+    std::uint64_t n = queue_.run(max_events);
+    if (firstError_) {
+        auto err = std::exchange(firstError_, nullptr);
+        std::rethrow_exception(err);
+    }
+    for (const auto &d : daemons_) {
+        if (auto err = d.error())
+            std::rethrow_exception(err);
+    }
+    return n;
+}
+
+std::uint64_t
+Simulator::runAll(std::uint64_t max_events)
+{
+    std::uint64_t n = run(max_events);
+    if (active_ != 0)
+        panic("simulation deadlock: " + std::to_string(active_) +
+              " task(s) never completed");
+    return n;
+}
+
+} // namespace shrimp::sim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic discrete-event queue with nanosecond ticks.
+ *
+ * Events scheduled for the same tick fire in schedule order (a
+ * monotonically increasing sequence number breaks ties), so simulations
+ * are fully deterministic regardless of heap internals.
+ */
+
+#ifndef SHRIMP_SIM_EVENT_QUEUE_HH
+#define SHRIMP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace shrimp::sim
+{
+
+class EventQueue
+{
+  public:
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn to run at absolute time @p when (>= now). */
+    void schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void scheduleIn(Tick delay, std::function<void()> fn);
+
+    /** Run the earliest pending event. @return false if queue empty. */
+    bool runOne();
+
+    /**
+     * Run until the queue drains.
+     * @param max_events guard against runaway simulations; panics if
+     *        exceeded.
+     * @return number of events processed.
+     */
+    std::uint64_t run(std::uint64_t max_events = defaultMaxEvents);
+
+    /** Run events until simulated time would exceed @p until. */
+    std::uint64_t runUntil(Tick until,
+                           std::uint64_t max_events = defaultMaxEvents);
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t pending() const { return heap_.size(); }
+
+    static constexpr std::uint64_t defaultMaxEvents = 500'000'000;
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+} // namespace shrimp::sim
+
+#endif // SHRIMP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,31 @@
+#include "sim/sync.hh"
+
+namespace shrimp::sim
+{
+
+void
+Condition::notifyAll()
+{
+    // Move the list out first: a woken task may wait() again immediately
+    // and must not be re-woken by this notification.
+    std::vector<std::coroutine_handle<>> to_wake;
+    to_wake.swap(waiters_);
+    for (auto h : to_wake)
+        queue_.scheduleIn(0, [h] { h.resume(); });
+}
+
+void
+Semaphore::release()
+{
+    if (!waiters_.empty()) {
+        auto h = waiters_.front();
+        waiters_.pop_front();
+        // Ownership of the unit transfers directly to the waiter; the
+        // count is not incremented.
+        queue_.scheduleIn(0, [h] { h.resume(); });
+    } else {
+        ++count_;
+    }
+}
+
+} // namespace shrimp::sim

@@ -1,0 +1,58 @@
+#include "vmmc/notification.hh"
+
+namespace shrimp::vmmc
+{
+
+NotificationQueue::NotificationQueue(node::Process &proc)
+    : proc_(proc), arrivedCond_(proc.sim().queue())
+{
+}
+
+void
+NotificationQueue::deliver(Endpoint &endpoint, const Notification &n,
+                           const NotifyHandler &handler)
+{
+    if (blocked_) {
+        blockedQueue_.push_back(Queued{n, handler});
+        return;
+    }
+    proc_.sim().spawn(deliverTask(endpoint, n, handler));
+}
+
+sim::Task<>
+NotificationQueue::deliverTask(Endpoint &endpoint, Notification n,
+                               NotifyHandler handler)
+{
+    const MachineConfig &cfg = proc_.config();
+    Tick cost = cfg.fastNotifications ? cfg.fastNotifyCost
+                                      : cfg.signalDeliveryCost;
+    co_await proc_.compute(cost);
+    ++delivered_;
+    arrived_.push_back(n);
+    arrivedCond_.notifyAll();
+    if (handler)
+        co_await handler(endpoint, n);
+}
+
+void
+NotificationQueue::unblock(Endpoint &endpoint)
+{
+    blocked_ = false;
+    while (!blockedQueue_.empty() && !blocked_) {
+        Queued q = std::move(blockedQueue_.front());
+        blockedQueue_.pop_front();
+        proc_.sim().spawn(deliverTask(endpoint, q.n, std::move(q.handler)));
+    }
+}
+
+sim::Task<Notification>
+NotificationQueue::wait()
+{
+    while (arrived_.empty())
+        co_await arrivedCond_.wait();
+    Notification n = arrived_.front();
+    arrived_.pop_front();
+    co_return n;
+}
+
+} // namespace shrimp::vmmc

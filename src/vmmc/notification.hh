@@ -1,0 +1,73 @@
+/**
+ * @file
+ * NotificationQueue: per-process notification state (paper section 2.3).
+ * Notifications resemble UNIX signals — they can be blocked and
+ * unblocked, and a process can be suspended until one arrives — but
+ * unlike signals they are queued while blocked. Delivery charges the
+ * configured signal cost (the paper's current implementation uses
+ * signals) or the cheaper active-message-style cost when
+ * MachineConfig::fastNotifications is set.
+ */
+
+#ifndef SHRIMP_VMMC_NOTIFICATION_HH
+#define SHRIMP_VMMC_NOTIFICATION_HH
+
+#include <deque>
+
+#include "node/process.hh"
+#include "sim/sync.hh"
+#include "vmmc/types.hh"
+
+namespace shrimp::vmmc
+{
+
+class NotificationQueue
+{
+  public:
+    explicit NotificationQueue(node::Process &proc);
+
+    /**
+     * Deliver a notification for @p endpoint: if blocked, queue it;
+     * otherwise charge the delivery cost and run @p handler (if any) as
+     * a user-level task, then wake waitNotification() sleepers.
+     */
+    void deliver(Endpoint &endpoint, const Notification &n,
+                 const NotifyHandler &handler);
+
+    /** Block delivery; subsequent notifications queue. */
+    void block() { blocked_ = true; }
+
+    /** Unblock and deliver everything queued (in arrival order). */
+    void unblock(Endpoint &endpoint);
+
+    bool blocked() const { return blocked_; }
+
+    /** Suspend the caller until a notification arrives; returns it. */
+    sim::Task<Notification> wait();
+
+    /** Notifications received and not yet consumed by wait(). */
+    std::size_t pending() const { return arrived_.size(); }
+
+    std::uint64_t delivered() const { return delivered_; }
+
+  private:
+    struct Queued
+    {
+        Notification n;
+        NotifyHandler handler;
+    };
+
+    sim::Task<> deliverTask(Endpoint &endpoint, Notification n,
+                            NotifyHandler handler);
+
+    node::Process &proc_;
+    bool blocked_ = false;
+    std::deque<Queued> blockedQueue_;
+    std::deque<Notification> arrived_;
+    sim::Condition arrivedCond_;
+    std::uint64_t delivered_ = 0;
+};
+
+} // namespace shrimp::vmmc
+
+#endif // SHRIMP_VMMC_NOTIFICATION_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the base module: logging, statistics, units, and the
+ * machine configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/config.hh"
+#include "base/logging.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace shrimp
+{
+namespace
+{
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom"), PanicError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config"), FatalError);
+}
+
+TEST(Logging, PanicMessagePreserved)
+{
+    try {
+        panic("specific message");
+        FAIL() << "panic returned";
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "specific message");
+    }
+}
+
+TEST(Logging, FormatProducesPrintfOutput)
+{
+    EXPECT_EQ(logging::format("x=%d s=%s", 42, "hi"), "x=42 s=hi");
+}
+
+TEST(Logging, AssertMacroPassesAndFails)
+{
+    EXPECT_NO_THROW(SHRIMP_ASSERT(1 + 1 == 2, "math"));
+    EXPECT_THROW(SHRIMP_ASSERT(false, "always"), PanicError);
+}
+
+TEST(Stats, CounterIncrements)
+{
+    stats::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, GroupRegistersAndQueries)
+{
+    stats::Group g("nic");
+    g.counter("packets") += 7;
+    EXPECT_EQ(g.get("packets"), 7u);
+    EXPECT_EQ(g.get("absent"), 0u);
+    EXPECT_EQ(g.name(), "nic");
+}
+
+TEST(Stats, CounterReferencesAreStable)
+{
+    stats::Group g("x");
+    stats::Counter &a = g.counter("a");
+    for (int i = 0; i < 100; ++i)
+        g.counter("k" + std::to_string(i));
+    ++a;
+    EXPECT_EQ(g.get("a"), 1u);
+}
+
+TEST(Stats, DistributionTracksMoments)
+{
+    stats::Distribution d;
+    d.sample(1.0);
+    d.sample(3.0);
+    d.sample(2.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 3.0);
+}
+
+TEST(Stats, GroupReset)
+{
+    stats::Group g("y");
+    g.counter("c") += 5;
+    g.distribution("d").sample(1.0);
+    g.reset();
+    EXPECT_EQ(g.get("c"), 0u);
+}
+
+TEST(Units, TransferTimeBasics)
+{
+    // 1 MB at 1 MB/s = 1 second.
+    EXPECT_EQ(units::transferTime(1'000'000, 1.0), units::sec);
+    // Zero bytes take zero time.
+    EXPECT_EQ(units::transferTime(0, 100.0), 0u);
+    // Rounds up.
+    EXPECT_EQ(units::transferTime(1, 1000.0), 1u);
+}
+
+TEST(Units, TransferTimeScalesWithBandwidth)
+{
+    Tick slow = units::transferTime(4096, 10.0);
+    Tick fast = units::transferTime(4096, 20.0);
+    EXPECT_NEAR(double(slow), 2.0 * double(fast), 2.0);
+}
+
+TEST(Config, DefaultValidates)
+{
+    MachineConfig cfg;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, NumNodesFollowsMesh)
+{
+    MachineConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    EXPECT_EQ(cfg.numNodes(), 16);
+}
+
+TEST(Config, RejectsBadPageSize)
+{
+    MachineConfig cfg;
+    cfg.pageBytes = 3000; // not a power of two
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Config, RejectsUnalignedMemorySize)
+{
+    MachineConfig cfg;
+    cfg.nodeMemBytes = cfg.pageBytes * 10 + 1;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Config, RejectsOversizedPacket)
+{
+    MachineConfig cfg;
+    cfg.maxPacketBytes = cfg.pageBytes * 2;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Config, RejectsCombineLimitAbovePacketSize)
+{
+    MachineConfig cfg;
+    cfg.auCombineLimit = cfg.maxPacketBytes + 4;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Config, RejectsNonPositiveBandwidth)
+{
+    MachineConfig cfg;
+    cfg.eisaDmaBw = 0.0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Config, CopyBwSelectsByCacheMode)
+{
+    MachineConfig cfg;
+    EXPECT_EQ(cfg.copyBw(CacheMode::WriteBack), cfg.copyBwWriteBack);
+    EXPECT_EQ(cfg.copyBw(CacheMode::WriteThrough),
+              cfg.copyBwWriteThrough);
+    EXPECT_EQ(cfg.copyBw(CacheMode::Uncached), cfg.copyBwUncached);
+}
+
+TEST(Config, WriteThroughCopiesSlowerThanWriteBack)
+{
+    // The calibration depends on this ordering (AU's "extra" copy).
+    MachineConfig cfg;
+    EXPECT_LT(cfg.copyBwWriteThrough, cfg.copyBwWriteBack);
+}
+
+} // namespace
+} // namespace shrimp

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared helpers for the shrimp test suite: running simulated tasks to
+ * completion and generating deterministic pseudo-random payloads.
+ */
+
+#ifndef SHRIMP_TESTS_TEST_UTIL_HH
+#define SHRIMP_TESTS_TEST_UTIL_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "vmmc/vmmc.hh"
+
+namespace shrimp::test
+{
+
+/** Spawn one task and run the simulation to completion. */
+inline void
+runTask(sim::Simulator &sim, sim::Task<> task)
+{
+    sim.spawn(std::move(task));
+    sim.runAll();
+}
+
+/** Deterministic pseudo-random payload. */
+inline std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    std::vector<std::uint8_t> v(n);
+    for (auto &b : v)
+        b = std::uint8_t(rng());
+    return v;
+}
+
+} // namespace shrimp::test
+
+#endif // SHRIMP_TESTS_TEST_UTIL_HH

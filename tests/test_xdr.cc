@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the XDR runtime: golden wire bytes per RFC 4506, round
+ * trips of every type (including randomized property sweeps), and
+ * bounds checking.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "rpc/xdr.hh"
+#include "test_util.hh"
+
+namespace shrimp::rpc
+{
+namespace
+{
+
+/** Encode synchronously into a host buffer. */
+std::vector<std::uint8_t>
+encode(const std::function<sim::Task<>(XdrEncoder &)> &fn)
+{
+    sim::Simulator s;
+    BufferSink sink;
+    XdrEncoder enc(sink);
+    test::runTask(s, fn(enc));
+    return sink.bytes();
+}
+
+TEST(Xdr, U32IsBigEndian)
+{
+    auto bytes = encode([](XdrEncoder &e) -> sim::Task<> {
+        co_await e.putU32(0x01020304);
+    });
+    EXPECT_EQ(bytes, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+}
+
+TEST(Xdr, NegativeI32TwosComplement)
+{
+    auto bytes = encode([](XdrEncoder &e) -> sim::Task<> {
+        co_await e.putI32(-1);
+    });
+    EXPECT_EQ(bytes, (std::vector<std::uint8_t>{0xFF, 0xFF, 0xFF, 0xFF}));
+}
+
+TEST(Xdr, U64IsTwoWordsHighFirst)
+{
+    auto bytes = encode([](XdrEncoder &e) -> sim::Task<> {
+        co_await e.putU64(0x0102030405060708ull);
+    });
+    EXPECT_EQ(bytes,
+              (std::vector<std::uint8_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(Xdr, BoolIsFullWord)
+{
+    auto bytes = encode([](XdrEncoder &e) -> sim::Task<> {
+        co_await e.putBool(true);
+        co_await e.putBool(false);
+    });
+    EXPECT_EQ(bytes,
+              (std::vector<std::uint8_t>{0, 0, 0, 1, 0, 0, 0, 0}));
+}
+
+TEST(Xdr, StringPadsToWordBoundary)
+{
+    auto bytes = encode([](XdrEncoder &e) -> sim::Task<> {
+        co_await e.putString("hello"); // 5 chars: 3 pad bytes
+    });
+    std::vector<std::uint8_t> expect{0, 0, 0, 5, 'h', 'e', 'l',
+                                     'l', 'o', 0, 0, 0};
+    EXPECT_EQ(bytes, expect);
+}
+
+TEST(Xdr, EmptyStringIsJustLength)
+{
+    auto bytes = encode([](XdrEncoder &e) -> sim::Task<> {
+        co_await e.putString("");
+    });
+    EXPECT_EQ(bytes, (std::vector<std::uint8_t>{0, 0, 0, 0}));
+}
+
+TEST(Xdr, FixedOpaquePadsButHasNoLength)
+{
+    std::uint8_t raw[3] = {0xAA, 0xBB, 0xCC};
+    auto bytes = encode([&raw](XdrEncoder &e) -> sim::Task<> {
+        co_await e.putOpaque(raw, 3);
+    });
+    EXPECT_EQ(bytes, (std::vector<std::uint8_t>{0xAA, 0xBB, 0xCC, 0}));
+}
+
+TEST(Xdr, FloatUsesIeeeBits)
+{
+    auto bytes = encode([](XdrEncoder &e) -> sim::Task<> {
+        co_await e.putFloat(1.0f); // 0x3F800000
+    });
+    EXPECT_EQ(bytes, (std::vector<std::uint8_t>{0x3F, 0x80, 0, 0}));
+}
+
+TEST(Xdr, RoundTripAllScalarTypes)
+{
+    sim::Simulator s;
+    BufferSink sink;
+    XdrEncoder enc(sink);
+    test::runTask(s, [](XdrEncoder &e) -> sim::Task<> {
+        co_await e.putU32(123456789);
+        co_await e.putI32(-987654);
+        co_await e.putU64(0xDEADBEEFCAFEF00Dull);
+        co_await e.putI64(-1234567890123ll);
+        co_await e.putBool(true);
+        co_await e.putFloat(3.25f);
+        co_await e.putDouble(-2.5e300);
+        co_await e.putString("shrimp");
+    }(enc));
+
+    sim::Simulator s2;
+    BufferSource source(sink.bytes());
+    XdrDecoder dec(source);
+    test::runTask(s2, [](XdrDecoder &d, BufferSource &src) -> sim::Task<> {
+        EXPECT_EQ(co_await d.getU32(), 123456789u);
+        EXPECT_EQ(co_await d.getI32(), -987654);
+        EXPECT_EQ(co_await d.getU64(), 0xDEADBEEFCAFEF00Dull);
+        EXPECT_EQ(co_await d.getI64(), -1234567890123ll);
+        EXPECT_TRUE(co_await d.getBool());
+        EXPECT_EQ(co_await d.getFloat(), 3.25f);
+        EXPECT_EQ(co_await d.getDouble(), -2.5e300);
+        EXPECT_EQ(co_await d.getString(100), "shrimp");
+        EXPECT_EQ(src.remaining(), 0u);
+    }(dec, source));
+}
+
+TEST(Xdr, RoundTripBytesAndArray)
+{
+    auto payload = test::pattern(37, 5);
+    sim::Simulator s;
+    BufferSink sink;
+    XdrEncoder enc(sink);
+    std::vector<std::uint32_t> nums{5, 10, 0xFFFFFFFF};
+    test::runTask(s, [](XdrEncoder &e, std::vector<std::uint8_t> payload,
+                        std::vector<std::uint32_t> nums) -> sim::Task<> {
+        co_await e.putBytes(payload.data(), payload.size());
+        co_await e.putArray(nums, [](XdrEncoder &e,
+                                     std::uint32_t v) -> sim::Task<> {
+            co_await e.putU32(v);
+        });
+    }(enc, payload, nums));
+
+    sim::Simulator s2;
+    BufferSource source(sink.bytes());
+    XdrDecoder dec(source);
+    test::runTask(s2, [](XdrDecoder &d, std::vector<std::uint8_t> payload,
+                         std::vector<std::uint32_t> nums) -> sim::Task<> {
+        auto got = co_await d.getBytes(1000);
+        EXPECT_EQ(got, payload);
+        auto arr = co_await d.getArray<std::uint32_t>(
+            100, [](XdrDecoder &d) -> sim::Task<std::uint32_t> {
+                std::uint32_t v = co_await d.getU32();
+                co_return v;
+            });
+        EXPECT_EQ(arr, nums);
+    }(dec, payload, nums));
+}
+
+TEST(Xdr, DecodeBoundsViolationPanics)
+{
+    sim::Simulator s;
+    BufferSink sink;
+    XdrEncoder enc(sink);
+    test::runTask(s, [](XdrEncoder &e) -> sim::Task<> {
+        co_await e.putBytes("0123456789", 10);
+    }(enc));
+
+    sim::Simulator s2;
+    BufferSource source(sink.bytes());
+    XdrDecoder dec(source);
+    s2.spawn([](XdrDecoder &d) -> sim::Task<> {
+        co_await d.getBytes(5); // max smaller than actual
+    }(dec));
+    EXPECT_THROW(s2.runAll(), PanicError);
+}
+
+TEST(Xdr, DecodePastEndPanics)
+{
+    sim::Simulator s;
+    BufferSource source({1, 2});
+    XdrDecoder dec(source);
+    s.spawn([](XdrDecoder &d) -> sim::Task<> {
+        co_await d.getU32();
+    }(dec));
+    EXPECT_THROW(s.runAll(), PanicError);
+}
+
+TEST(Xdr, StringBoundViolationPanics)
+{
+    sim::Simulator s;
+    BufferSink sink;
+    XdrEncoder enc(sink);
+    test::runTask(s, [](XdrEncoder &e) -> sim::Task<> {
+        co_await e.putString("much too long");
+    }(enc));
+    sim::Simulator s2;
+    BufferSource source(sink.bytes());
+    XdrDecoder dec(source);
+    s2.spawn([](XdrDecoder &d) -> sim::Task<> {
+        co_await d.getString(4);
+    }(dec));
+    EXPECT_THROW(s2.runAll(), PanicError);
+}
+
+/** Property: random scalars round-trip exactly. */
+class XdrFuzz : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(XdrFuzz, RandomRoundTrip)
+{
+    std::mt19937_64 rng(GetParam());
+    std::vector<std::uint32_t> u32s;
+    std::vector<std::int64_t> i64s;
+    std::vector<double> doubles;
+    std::vector<std::string> strings;
+    for (int i = 0; i < 20; ++i) {
+        u32s.push_back(std::uint32_t(rng()));
+        i64s.push_back(std::int64_t(rng()));
+        doubles.push_back(double(std::int64_t(rng())) / 7.0);
+        strings.push_back(std::string(rng() % 40, char('a' + rng() % 26)));
+    }
+
+    sim::Simulator s;
+    BufferSink sink;
+    XdrEncoder enc(sink);
+    test::runTask(
+        s, [](XdrEncoder &e, std::vector<std::uint32_t> u32s,
+              std::vector<std::int64_t> i64s, std::vector<double> doubles,
+              std::vector<std::string> strings) -> sim::Task<> {
+            for (int i = 0; i < 20; ++i) {
+                co_await e.putU32(u32s[i]);
+                co_await e.putI64(i64s[i]);
+                co_await e.putDouble(doubles[i]);
+                co_await e.putString(strings[i]);
+            }
+        }(enc, u32s, i64s, doubles, strings));
+
+    sim::Simulator s2;
+    BufferSource source(sink.bytes());
+    XdrDecoder dec(source);
+    test::runTask(
+        s2, [](XdrDecoder &d, BufferSource &src,
+               std::vector<std::uint32_t> u32s,
+               std::vector<std::int64_t> i64s, std::vector<double> doubles,
+               std::vector<std::string> strings) -> sim::Task<> {
+            for (int i = 0; i < 20; ++i) {
+                EXPECT_EQ(co_await d.getU32(), u32s[i]);
+                EXPECT_EQ(co_await d.getI64(), i64s[i]);
+                EXPECT_EQ(co_await d.getDouble(), doubles[i]);
+                EXPECT_EQ(co_await d.getString(64), strings[i]);
+            }
+            EXPECT_EQ(src.remaining(), 0u);
+        }(dec, source, u32s, i64s, doubles, strings));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XdrFuzz,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1996u));
+
+} // namespace
+} // namespace shrimp::rpc
