@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_cachemode.dir/ablate_cachemode.cc.o"
+  "CMakeFiles/ablate_cachemode.dir/ablate_cachemode.cc.o.d"
+  "CMakeFiles/ablate_cachemode.dir/bench_util.cc.o"
+  "CMakeFiles/ablate_cachemode.dir/bench_util.cc.o.d"
+  "ablate_cachemode"
+  "ablate_cachemode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cachemode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

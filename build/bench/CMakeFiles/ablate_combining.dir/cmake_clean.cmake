@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_combining.dir/ablate_combining.cc.o"
+  "CMakeFiles/ablate_combining.dir/ablate_combining.cc.o.d"
+  "CMakeFiles/ablate_combining.dir/bench_util.cc.o"
+  "CMakeFiles/ablate_combining.dir/bench_util.cc.o.d"
+  "ablate_combining"
+  "ablate_combining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_combining.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_mesh_scale.dir/ablate_mesh_scale.cc.o"
+  "CMakeFiles/ablate_mesh_scale.dir/ablate_mesh_scale.cc.o.d"
+  "CMakeFiles/ablate_mesh_scale.dir/bench_util.cc.o"
+  "CMakeFiles/ablate_mesh_scale.dir/bench_util.cc.o.d"
+  "ablate_mesh_scale"
+  "ablate_mesh_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_mesh_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_notification.dir/ablate_notification.cc.o"
+  "CMakeFiles/ablate_notification.dir/ablate_notification.cc.o.d"
+  "CMakeFiles/ablate_notification.dir/bench_util.cc.o"
+  "CMakeFiles/ablate_notification.dir/bench_util.cc.o.d"
+  "ablate_notification"
+  "ablate_notification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_notification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_vmmc_raw.dir/bench_util.cc.o"
+  "CMakeFiles/fig3_vmmc_raw.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig3_vmmc_raw.dir/fig3_vmmc_raw.cc.o"
+  "CMakeFiles/fig3_vmmc_raw.dir/fig3_vmmc_raw.cc.o.d"
+  "fig3_vmmc_raw"
+  "fig3_vmmc_raw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vmmc_raw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

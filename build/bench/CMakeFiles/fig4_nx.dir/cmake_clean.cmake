@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_nx.dir/bench_util.cc.o"
+  "CMakeFiles/fig4_nx.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig4_nx.dir/fig4_nx.cc.o"
+  "CMakeFiles/fig4_nx.dir/fig4_nx.cc.o.d"
+  "fig4_nx"
+  "fig4_nx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_nx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

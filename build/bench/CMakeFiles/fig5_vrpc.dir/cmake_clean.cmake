@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_vrpc.dir/bench_util.cc.o"
+  "CMakeFiles/fig5_vrpc.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig5_vrpc.dir/fig5_vrpc.cc.o"
+  "CMakeFiles/fig5_vrpc.dir/fig5_vrpc.cc.o.d"
+  "fig5_vrpc"
+  "fig5_vrpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_vrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_sockets.dir/bench_util.cc.o"
+  "CMakeFiles/fig7_sockets.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig7_sockets.dir/fig7_sockets.cc.o"
+  "CMakeFiles/fig7_sockets.dir/fig7_sockets.cc.o.d"
+  "fig7_sockets"
+  "fig7_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

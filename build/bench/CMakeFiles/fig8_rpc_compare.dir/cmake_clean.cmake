@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_rpc_compare.dir/bench_util.cc.o"
+  "CMakeFiles/fig8_rpc_compare.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig8_rpc_compare.dir/fig8_rpc_compare.cc.o"
+  "CMakeFiles/fig8_rpc_compare.dir/fig8_rpc_compare.cc.o.d"
+  "fig8_rpc_compare"
+  "fig8_rpc_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_rpc_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttcp_sockets.dir/bench_util.cc.o"
+  "CMakeFiles/ttcp_sockets.dir/bench_util.cc.o.d"
+  "CMakeFiles/ttcp_sockets.dir/ttcp_sockets.cc.o"
+  "CMakeFiles/ttcp_sockets.dir/ttcp_sockets.cc.o.d"
+  "ttcp_sockets"
+  "ttcp_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttcp_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nx_jacobi.dir/nx_jacobi.cc.o"
+  "CMakeFiles/nx_jacobi.dir/nx_jacobi.cc.o.d"
+  "nx_jacobi"
+  "nx_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nx_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nx_jacobi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for nx_jacobi.
+# This may be replaced when dependencies are built.

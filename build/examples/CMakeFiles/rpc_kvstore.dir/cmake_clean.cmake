@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_kvstore.dir/rpc_kvstore.cc.o"
+  "CMakeFiles/rpc_kvstore.dir/rpc_kvstore.cc.o.d"
+  "rpc_kvstore"
+  "rpc_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

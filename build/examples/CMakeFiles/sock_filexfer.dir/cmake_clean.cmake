@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sock_filexfer.dir/sock_filexfer.cc.o"
+  "CMakeFiles/sock_filexfer.dir/sock_filexfer.cc.o.d"
+  "sock_filexfer"
+  "sock_filexfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sock_filexfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srpc_matrix.dir/srpc_matrix.cc.o"
+  "CMakeFiles/srpc_matrix.dir/srpc_matrix.cc.o.d"
+  "srpc_matrix"
+  "srpc_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srpc_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_notify.dir/vmmc_notify.cc.o"
+  "CMakeFiles/vmmc_notify.dir/vmmc_notify.cc.o.d"
+  "vmmc_notify"
+  "vmmc_notify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_notify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

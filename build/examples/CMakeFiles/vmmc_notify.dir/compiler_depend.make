@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vmmc_notify.
+# This may be replaced when dependencies are built.

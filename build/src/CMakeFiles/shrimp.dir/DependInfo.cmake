@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/config.cc" "src/CMakeFiles/shrimp.dir/base/config.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/base/config.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/shrimp.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/stats.cc" "src/CMakeFiles/shrimp.dir/base/stats.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/base/stats.cc.o.d"
+  "/root/repo/src/mem/address_space.cc" "src/CMakeFiles/shrimp.dir/mem/address_space.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/mem/address_space.cc.o.d"
+  "/root/repo/src/mem/memory.cc" "src/CMakeFiles/shrimp.dir/mem/memory.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/mem/memory.cc.o.d"
+  "/root/repo/src/net/mesh.cc" "src/CMakeFiles/shrimp.dir/net/mesh.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/net/mesh.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/shrimp.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/router.cc" "src/CMakeFiles/shrimp.dir/net/router.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/net/router.cc.o.d"
+  "/root/repo/src/nic/deliberate_update_engine.cc" "src/CMakeFiles/shrimp.dir/nic/deliberate_update_engine.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/nic/deliberate_update_engine.cc.o.d"
+  "/root/repo/src/nic/incoming_dma_engine.cc" "src/CMakeFiles/shrimp.dir/nic/incoming_dma_engine.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/nic/incoming_dma_engine.cc.o.d"
+  "/root/repo/src/nic/incoming_page_table.cc" "src/CMakeFiles/shrimp.dir/nic/incoming_page_table.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/nic/incoming_page_table.cc.o.d"
+  "/root/repo/src/nic/outgoing_page_table.cc" "src/CMakeFiles/shrimp.dir/nic/outgoing_page_table.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/nic/outgoing_page_table.cc.o.d"
+  "/root/repo/src/nic/packetizer.cc" "src/CMakeFiles/shrimp.dir/nic/packetizer.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/nic/packetizer.cc.o.d"
+  "/root/repo/src/nic/shrimp_nic.cc" "src/CMakeFiles/shrimp.dir/nic/shrimp_nic.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/nic/shrimp_nic.cc.o.d"
+  "/root/repo/src/node/cpu.cc" "src/CMakeFiles/shrimp.dir/node/cpu.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/node/cpu.cc.o.d"
+  "/root/repo/src/node/ether.cc" "src/CMakeFiles/shrimp.dir/node/ether.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/node/ether.cc.o.d"
+  "/root/repo/src/node/machine.cc" "src/CMakeFiles/shrimp.dir/node/machine.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/node/machine.cc.o.d"
+  "/root/repo/src/node/node.cc" "src/CMakeFiles/shrimp.dir/node/node.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/node/node.cc.o.d"
+  "/root/repo/src/node/process.cc" "src/CMakeFiles/shrimp.dir/node/process.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/node/process.cc.o.d"
+  "/root/repo/src/nx/connection.cc" "src/CMakeFiles/shrimp.dir/nx/connection.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/nx/connection.cc.o.d"
+  "/root/repo/src/nx/nx.cc" "src/CMakeFiles/shrimp.dir/nx/nx.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/nx/nx.cc.o.d"
+  "/root/repo/src/rpc/client.cc" "src/CMakeFiles/shrimp.dir/rpc/client.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/rpc/client.cc.o.d"
+  "/root/repo/src/rpc/rpc_msg.cc" "src/CMakeFiles/shrimp.dir/rpc/rpc_msg.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/rpc/rpc_msg.cc.o.d"
+  "/root/repo/src/rpc/server.cc" "src/CMakeFiles/shrimp.dir/rpc/server.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/rpc/server.cc.o.d"
+  "/root/repo/src/rpc/vrpc_stream.cc" "src/CMakeFiles/shrimp.dir/rpc/vrpc_stream.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/rpc/vrpc_stream.cc.o.d"
+  "/root/repo/src/rpc/xdr.cc" "src/CMakeFiles/shrimp.dir/rpc/xdr.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/rpc/xdr.cc.o.d"
+  "/root/repo/src/sim/bus.cc" "src/CMakeFiles/shrimp.dir/sim/bus.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/sim/bus.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/shrimp.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/sync.cc" "src/CMakeFiles/shrimp.dir/sim/sync.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/sim/sync.cc.o.d"
+  "/root/repo/src/sock/ring.cc" "src/CMakeFiles/shrimp.dir/sock/ring.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/sock/ring.cc.o.d"
+  "/root/repo/src/sock/socket.cc" "src/CMakeFiles/shrimp.dir/sock/socket.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/sock/socket.cc.o.d"
+  "/root/repo/src/srpc/srpc.cc" "src/CMakeFiles/shrimp.dir/srpc/srpc.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/srpc/srpc.cc.o.d"
+  "/root/repo/src/vmmc/buffer_registry.cc" "src/CMakeFiles/shrimp.dir/vmmc/buffer_registry.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/vmmc/buffer_registry.cc.o.d"
+  "/root/repo/src/vmmc/daemon.cc" "src/CMakeFiles/shrimp.dir/vmmc/daemon.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/vmmc/daemon.cc.o.d"
+  "/root/repo/src/vmmc/notification.cc" "src/CMakeFiles/shrimp.dir/vmmc/notification.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/vmmc/notification.cc.o.d"
+  "/root/repo/src/vmmc/vmmc.cc" "src/CMakeFiles/shrimp.dir/vmmc/vmmc.cc.o" "gcc" "src/CMakeFiles/shrimp.dir/vmmc/vmmc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node.dir/test_node.cc.o"
+  "CMakeFiles/test_node.dir/test_node.cc.o.d"
+  "test_node"
+  "test_node.pdb"
+  "test_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

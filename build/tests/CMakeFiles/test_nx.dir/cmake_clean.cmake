@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nx.dir/test_nx.cc.o"
+  "CMakeFiles/test_nx.dir/test_nx.cc.o.d"
+  "test_nx"
+  "test_nx.pdb"
+  "test_nx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

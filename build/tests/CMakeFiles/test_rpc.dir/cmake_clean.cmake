@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpc.dir/test_rpc.cc.o"
+  "CMakeFiles/test_rpc.dir/test_rpc.cc.o.d"
+  "test_rpc"
+  "test_rpc.pdb"
+  "test_rpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sock.dir/test_sock.cc.o"
+  "CMakeFiles/test_sock.dir/test_sock.cc.o.d"
+  "test_sock"
+  "test_sock.pdb"
+  "test_sock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srpc.dir/test_srpc.cc.o"
+  "CMakeFiles/test_srpc.dir/test_srpc.cc.o.d"
+  "test_srpc"
+  "test_srpc.pdb"
+  "test_srpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

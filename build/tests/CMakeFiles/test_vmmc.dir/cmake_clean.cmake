@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmmc.dir/test_vmmc.cc.o"
+  "CMakeFiles/test_vmmc.dir/test_vmmc.cc.o.d"
+  "test_vmmc"
+  "test_vmmc.pdb"
+  "test_vmmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xdr.dir/test_xdr.cc.o"
+  "CMakeFiles/test_xdr.dir/test_xdr.cc.o.d"
+  "test_xdr"
+  "test_xdr.pdb"
+  "test_xdr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_base[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_nic[1]_include.cmake")
+include("/root/repo/build/tests/test_node[1]_include.cmake")
+include("/root/repo/build/tests/test_vmmc[1]_include.cmake")
+include("/root/repo/build/tests/test_nx[1]_include.cmake")
+include("/root/repo/build/tests/test_sock[1]_include.cmake")
+include("/root/repo/build/tests/test_xdr[1]_include.cmake")
+include("/root/repo/build/tests/test_rpc[1]_include.cmake")
+include("/root/repo/build/tests/test_srpc[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_protocols[1]_include.cmake")
