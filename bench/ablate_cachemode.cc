@@ -51,6 +51,7 @@ int
 main(int argc, char **argv)
 {
     using namespace shrimp::bench;
+    shrimp::trace::parseCliFlags(argc, argv);
     (void)argc;
     (void)argv;
 

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "base/trace.hh"
+
 namespace shrimp::bench
 {
 
@@ -106,6 +108,8 @@ runGoogleBenchmarks(int argc, char **argv,
                 ->Iterations(1);
         }
     }
+    // Strip --trace=/--stats before google-benchmark sees them.
+    trace::parseCliFlags(argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();

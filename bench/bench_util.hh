@@ -20,6 +20,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "base/trace.hh"
 #include "base/types.hh"
 
 namespace shrimp::bench

@@ -1,0 +1,506 @@
+/**
+ * @file
+ * Latency breakdown: attributes the end-to-end time of a message to the
+ * pipeline stages of the SHRIMP datapath, in the style of the paper's
+ * discussion of where the microseconds go (sections 3-5):
+ *
+ *   lib      sender library overhead (call entry, marshalling copies,
+ *            PIO initiation) plus the receiver-side turnaround of the
+ *            previous message in the ping-pong
+ *   nic-out  outgoing FIFO, arbiter, and NIC processor-port forwarding
+ *            (last pkt.formed -> last pkt.injected)
+ *   mesh     routing backplane traversal (-> last pkt.ejected at the
+ *            destination router)
+ *   dma-in   eject queue and incoming EISA DMA into memory
+ *            (-> last pkt.delivered)
+ *   detect   notification/poll detection and the receive-side copy
+ *            (-> receive call returns)
+ *
+ * The boundaries are extracted from the tick-accurate trace (base/trace)
+ * recorded while replaying the exact measurement loops of the fig3 (raw
+ * VMMC), fig4 (NX), and fig5 (VRPC) benchmarks. Each message window is
+ * [previous done-mark, done-mark] and the stage boundaries telescope
+ * (each is clamped into the window and found at-or-before the next), so
+ * the stage sums equal the measured end-to-end time *exactly*; the
+ * printed diff%% column is the proof.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "nx/nx.hh"
+#include "rpc/server.hh"
+#include "vmmc/vmmc.hh"
+
+namespace
+{
+
+using namespace shrimp;
+
+constexpr int kWarmup = 2;
+constexpr int kIters = 10;
+
+// ---- trace extraction --------------------------------------------------
+
+/** Per-(track, event-name) instant tick series, in time order. */
+class EventIndex
+{
+  public:
+    EventIndex()
+    {
+        const trace::Tracer &tr = trace::Tracer::instance();
+        for (const auto &e : tr.events()) {
+            if (e.phase == trace::Tracer::Phase::Instant)
+                series_[{e.track, e.name}].push_back(e.tick);
+        }
+    }
+
+    const std::vector<Tick> &
+    series(const std::string &track_name, const char *event) const
+    {
+        static const std::vector<Tick> empty;
+        auto it = series_.find({trace::track(track_name), event});
+        return it == series_.end() ? empty : it->second;
+    }
+
+    /** Last tick at or before @p hi, clamped to at least @p lo. */
+    static Tick
+    lastAtOrBefore(const std::vector<Tick> &v, Tick hi, Tick lo)
+    {
+        auto it = std::upper_bound(v.begin(), v.end(), hi);
+        if (it == v.begin())
+            return lo;
+        Tick t = *std::prev(it);
+        return t < lo ? lo : t;
+    }
+
+  private:
+    std::map<std::pair<trace::TrackId, std::string>, std::vector<Tick>>
+        series_;
+};
+
+struct StageTotals
+{
+    double lib = 0, nicOut = 0, mesh = 0, dmaIn = 0, detect = 0;
+    int msgs = 0;
+
+    double sum() const { return lib + nicOut + mesh + dmaIn + detect; }
+};
+
+/**
+ * Attribute the window [lo, hi] of one message from node @p src to node
+ * @p dst to the five stages. The boundaries telescope backwards from
+ * the end of the window, so they are monotone by construction and the
+ * five stages sum to exactly hi - lo.
+ */
+void
+accumulateLeg(const EventIndex &idx, NodeId src, NodeId dst, Tick lo,
+              Tick hi, StageTotals &tot)
+{
+    std::string s = std::to_string(src), d = std::to_string(dst);
+    Tick e = EventIndex::lastAtOrBefore(
+        idx.series("node" + d + ".nic.in", "pkt.delivered"), hi, lo);
+    Tick dd = EventIndex::lastAtOrBefore(
+        idx.series("router" + d, "pkt.ejected"), e, lo);
+    Tick c = EventIndex::lastAtOrBefore(
+        idx.series("node" + s + ".nic", "pkt.injected"), dd, lo);
+    Tick b = EventIndex::lastAtOrBefore(
+        idx.series("node" + s + ".nic.out", "pkt.formed"), c, lo);
+    tot.lib += double(b - lo);
+    tot.nicOut += double(c - b);
+    tot.mesh += double(dd - c);
+    tot.dmaIn += double(e - dd);
+    tot.detect += double(hi - e);
+}
+
+/** Bench-side marker track (one row in the trace viewer). */
+trace::TrackId
+benchTrack()
+{
+    return trace::track("bench");
+}
+
+void
+mark(const char *name, Tick tick)
+{
+    trace::Tracer::instance().instant(benchTrack(), name, tick);
+}
+
+/** Collect bench done-marks named @p a2b / @p b2a inside (t0, t1]. */
+std::vector<std::pair<Tick, bool>> // (tick, isA2b)
+doneMarks(const char *a2b, const char *b2a, Tick t0, Tick t1)
+{
+    std::vector<std::pair<Tick, bool>> out;
+    const trace::Tracer &tr = trace::Tracer::instance();
+    for (const auto &e : tr.events()) {
+        if (e.track != benchTrack() ||
+            e.phase != trace::Tracer::Phase::Instant) {
+            continue;
+        }
+        if (e.tick <= t0 || e.tick > t1)
+            continue;
+        if (std::strcmp(e.name, a2b) == 0)
+            out.push_back({e.tick, true});
+        else if (std::strcmp(e.name, b2a) == 0)
+            out.push_back({e.tick, false});
+    }
+    return out;
+}
+
+void
+beginTracedRun()
+{
+    trace::Tracer::instance().setEnabled(true);
+    trace::Tracer::instance().clear();
+}
+
+// ---- raw VMMC (the fig3 measurement loop, with done-marks) -------------
+
+enum class RawVariant
+{
+    Au1copy,
+    Au2copy,
+    Du0copy,
+    Du1copy,
+};
+
+RawVariant
+rawVariantByName(const std::string &name)
+{
+    if (name == "AU-1copy")
+        return RawVariant::Au1copy;
+    if (name == "AU-2copy")
+        return RawVariant::Au2copy;
+    if (name == "DU-0copy")
+        return RawVariant::Du0copy;
+    return RawVariant::Du1copy;
+}
+
+struct RawSide
+{
+    vmmc::Endpoint *ep;
+    VAddr user = 0;
+    VAddr recv = 0;
+    VAddr au = 0;
+    int handle = -1;
+};
+
+sim::Task<>
+rawExportSide(RawSide &s, std::uint32_t key, std::size_t bufsz)
+{
+    node::Process &proc = s.ep->proc();
+    s.user = proc.alloc(bufsz);
+    s.recv = proc.alloc(bufsz, CacheMode::WriteThrough);
+    vmmc::Status st = co_await s.ep->exportBuffer(key, s.recv, bufsz);
+    SHRIMP_ASSERT(st == vmmc::Status::Ok, "export");
+}
+
+sim::Task<>
+rawImportSide(RawSide &s, RawSide &peer, std::uint32_t peer_key,
+              std::size_t bufsz, RawVariant v)
+{
+    node::Process &proc = s.ep->proc();
+    auto r = co_await s.ep->import(peer.ep->nodeId(), peer_key);
+    SHRIMP_ASSERT(r.status == vmmc::Status::Ok, "import");
+    s.handle = r.handle;
+    if (v == RawVariant::Au1copy || v == RawVariant::Au2copy) {
+        s.au = proc.alloc(bufsz);
+        vmmc::Status st = co_await s.ep->bindAu(s.au, bufsz, s.handle, 0);
+        SHRIMP_ASSERT(st == vmmc::Status::Ok, "bindAu");
+    }
+}
+
+sim::Task<>
+rawSendMsg(RawSide &s, std::size_t size, std::uint32_t tag, RawVariant v)
+{
+    node::Process &proc = s.ep->proc();
+    proc.poke32(VAddr(s.user + size - 4), tag);
+    switch (v) {
+      case RawVariant::Au1copy:
+      case RawVariant::Au2copy:
+        co_await proc.copy(s.au, s.user, size);
+        break;
+      case RawVariant::Du0copy:
+      case RawVariant::Du1copy:
+        co_await s.ep->send(s.handle, 0, s.user, size);
+        break;
+    }
+}
+
+sim::Task<>
+rawRecvMsg(RawSide &s, std::size_t size, std::uint32_t tag, RawVariant v)
+{
+    node::Process &proc = s.ep->proc();
+    co_await proc.waitWord32Eq(VAddr(s.recv + size - 4), tag);
+    if (v == RawVariant::Au2copy || v == RawVariant::Du1copy)
+        co_await proc.copy(s.user, s.recv, size);
+}
+
+/** One measured run; fills the stage totals and the end-to-end time. */
+void
+measureRaw(const std::string &curve, std::size_t size, StageTotals &tot,
+           double &end_to_end_ns)
+{
+    RawVariant v = rawVariantByName(curve);
+    beginTracedRun();
+    vmmc::System sys;
+    auto &a = sys.createEndpoint(0);
+    auto &b = sys.createEndpoint(1);
+    RawSide sa{&a}, sb{&b};
+    Tick t0 = 0, t1 = 0;
+
+    sys.sim().spawn([](vmmc::System &sys, RawSide &sa, RawSide &sb,
+                       std::size_t size, RawVariant v, Tick &t0,
+                       Tick &t1) -> sim::Task<> {
+        std::size_t bufsz = (size + 4095) / 4096 * 4096 + 4096;
+        co_await rawExportSide(sa, 43, bufsz);
+        co_await rawExportSide(sb, 42, bufsz);
+        co_await rawImportSide(sa, sb, 42, bufsz, v);
+        co_await rawImportSide(sb, sa, 43, bufsz, v);
+        for (int i = 0; i < kWarmup + kIters; ++i) {
+            if (i == kWarmup)
+                t0 = sys.sim().now();
+            std::uint32_t tag = std::uint32_t(i + 1);
+            co_await rawSendMsg(sa, size, tag, v);
+            co_await rawRecvMsg(sb, size, tag, v);
+            mark("done.a2b", sys.sim().now());
+            co_await rawSendMsg(sb, size, tag, v);
+            co_await rawRecvMsg(sa, size, tag, v);
+            mark("done.b2a", sys.sim().now());
+        }
+        t1 = sys.sim().now();
+    }(sys, sa, sb, size, v, t0, t1));
+    sys.sim().runAll();
+
+    EventIndex idx;
+    Tick prev = t0;
+    for (auto [tick, a2b] : doneMarks("done.a2b", "done.b2a", t0, t1)) {
+        accumulateLeg(idx, a2b ? 0 : 1, a2b ? 1 : 0, prev, tick, tot);
+        ++tot.msgs;
+        prev = tick;
+    }
+    end_to_end_ns = double(t1 - t0);
+}
+
+// ---- NX (the fig4 measurement loop, with done-marks) -------------------
+
+struct NxVariantSpec
+{
+    nx::SendMode mode;
+    bool inPlaceRecv;
+};
+
+NxVariantSpec
+nxVariantByName(const std::string &name)
+{
+    if (name == "AU-1copy")
+        return {nx::SendMode::AuMarshal, true};
+    if (name == "AU-2copy")
+        return {nx::SendMode::AuMarshal, false};
+    if (name == "DU-0copy")
+        return {nx::SendMode::ZeroCopy, false};
+    if (name == "DU-1copy")
+        return {nx::SendMode::DuOneCopy, false};
+    return {nx::SendMode::DuTwoCopy, false};
+}
+
+void
+measureNx(const std::string &curve, std::size_t size, StageTotals &tot,
+          double &end_to_end_ns)
+{
+    NxVariantSpec spec = nxVariantByName(curve);
+    beginTracedRun();
+    vmmc::System sys;
+    nx::NxSystem nxs(sys, 2);
+    sys.sim().spawn(nxs.init());
+    sys.sim().runAll();
+
+    Tick t0 = 0, t1 = 0;
+    auto peer = [](nx::NxSystem &nxs, int rank, std::size_t size,
+                   NxVariantSpec spec, Tick &t0, Tick &t1) -> sim::Task<> {
+        auto &p = nxs.proc(rank);
+        p.setSendMode(spec.mode);
+        auto &proc = p.endpoint().proc();
+        std::size_t bufsz = std::max<std::size_t>(size, 4) + 64;
+        VAddr buf = proc.alloc(bufsz);
+        for (int i = 0; i < kWarmup + kIters; ++i) {
+            if (rank == 0 && i == kWarmup)
+                t0 = proc.sim().now();
+            if (rank == 0) {
+                co_await p.csend(1, buf, size, 1);
+                if (spec.inPlaceRecv)
+                    co_await p.crecvInPlace(2);
+                else
+                    co_await p.crecv(2, buf, bufsz);
+                mark("done.b2a", proc.sim().now());
+            } else {
+                if (spec.inPlaceRecv)
+                    co_await p.crecvInPlace(1);
+                else
+                    co_await p.crecv(1, buf, bufsz);
+                mark("done.a2b", proc.sim().now());
+                co_await p.csend(2, buf, size, 0);
+            }
+        }
+        if (rank == 0)
+            t1 = proc.sim().now();
+    };
+    sys.sim().spawn(peer(nxs, 0, size, spec, t0, t1));
+    sys.sim().spawn(peer(nxs, 1, size, spec, t0, t1));
+    sys.sim().runAll();
+
+    EventIndex idx;
+    Tick prev = t0;
+    for (auto [tick, a2b] : doneMarks("done.a2b", "done.b2a", t0, t1)) {
+        accumulateLeg(idx, a2b ? 0 : 1, a2b ? 1 : 0, prev, tick, tot);
+        ++tot.msgs;
+        prev = tick;
+    }
+    // rank 0's final crecv completes after its done-mark bookkeeping;
+    // t1 is the same tick as the last mark, so the windows tile [t0,t1].
+    end_to_end_ns = double(t1 - t0);
+}
+
+// ---- VRPC (the fig5 measurement loop, with marks) ----------------------
+
+constexpr std::uint32_t kProg = 0x30000001;
+constexpr std::uint32_t kVers = 1;
+
+void
+measureVrpc(const std::string &curve, std::size_t size, StageTotals &tot,
+            double &end_to_end_ns)
+{
+    rpc::VrpcOptions opt;
+    opt.proto = curve == "DU-1copy" ? sock::StreamProto::DuTwoCopy
+                                    : sock::StreamProto::AuTwoCopy;
+    beginTracedRun();
+    vmmc::System sys;
+    auto &server_ep = sys.createEndpoint(1);
+    auto &client_ep = sys.createEndpoint(0);
+    rpc::VrpcServer server(server_ep, 5000, opt);
+    server.registerProc(
+        kProg, kVers, 1,
+        [&sys](rpc::XdrDecoder &dec)
+            -> sim::Task<rpc::VrpcServer::ServiceResult> {
+            mark("srv.handle", sys.sim().now());
+            auto data = co_await dec.getBytes(1 << 20);
+            rpc::VrpcServer::ServiceResult r;
+            r.results = [data](rpc::XdrEncoder &enc) -> sim::Task<> {
+                co_await enc.putBytes(data.data(), data.size());
+            };
+            co_return r;
+        });
+    server.start();
+
+    Tick t0 = 0, t1 = 0;
+    sys.sim().spawn([](vmmc::System &sys, vmmc::Endpoint &ep,
+                       rpc::VrpcOptions opt, std::size_t size, Tick &t0,
+                       Tick &t1) -> sim::Task<> {
+        rpc::VrpcClient client(ep, opt);
+        bool up = co_await client.connect(1, 5000, kProg, kVers);
+        SHRIMP_ASSERT(up, "connect");
+        std::vector<std::uint8_t> arg(size, 0x5A);
+        for (int i = 0; i < kWarmup + kIters; ++i) {
+            if (i == kWarmup)
+                t0 = sys.sim().now();
+            auto st = co_await client.call(
+                1,
+                [&arg](rpc::XdrEncoder &e) -> sim::Task<> {
+                    co_await e.putBytes(arg.data(), arg.size());
+                },
+                [](rpc::XdrDecoder &d) -> sim::Task<> {
+                    co_await d.getBytes(1 << 20);
+                });
+            SHRIMP_ASSERT(st == rpc::AcceptStat::Success, "call");
+            mark("call.done", sys.sim().now());
+        }
+        t1 = sys.sim().now();
+    }(sys, client_ep, opt, size, t0, t1));
+    sys.sim().runAll();
+
+    // Each call is two legs: request (client node 0 -> server node 1)
+    // up to the server-handler entry mark, and reply (1 -> 0) from
+    // there to the call-done mark. Stage sums still tile exactly.
+    EventIndex idx;
+    const auto &handles = idx.series("bench", "srv.handle");
+    Tick prev = t0;
+    for (auto [tick, _] : doneMarks("call.done", "call.done", t0, t1)) {
+        Tick m = EventIndex::lastAtOrBefore(handles, tick, prev);
+        accumulateLeg(idx, 0, 1, prev, m, tot);
+        accumulateLeg(idx, 1, 0, m, tick, tot);
+        ++tot.msgs;
+        prev = tick;
+    }
+    end_to_end_ns = double(t1 - t0);
+}
+
+// ---- table printing ----------------------------------------------------
+
+using MeasureBreakdown = void (*)(const std::string &, std::size_t,
+                                  StageTotals &, double &);
+
+void
+printBreakdown(const std::string &header, MeasureBreakdown measure,
+               const std::vector<std::string> &curves,
+               const std::vector<std::size_t> &sizes)
+{
+    std::vector<std::string> rows;
+    std::vector<std::vector<double>> values;
+    bool all_ok = true;
+    for (const std::string &curve : curves) {
+        for (std::size_t size : sizes) {
+            StageTotals tot;
+            double end_to_end = 0;
+            measure(curve, size, tot, end_to_end);
+            double per = tot.msgs ? 1.0 / (1000.0 * tot.msgs) : 0.0;
+            double sum_us = tot.sum() * per;
+            double e2e_us = end_to_end * per;
+            double diff_pct =
+                e2e_us > 0 ? (sum_us - e2e_us) / e2e_us * 100.0 : 0.0;
+            if (diff_pct > 1.0 || diff_pct < -1.0)
+                all_ok = false;
+            rows.push_back(curve + "/" + std::to_string(size));
+            values.push_back({tot.lib * per, tot.nicOut * per,
+                              tot.mesh * per, tot.dmaIn * per,
+                              tot.detect * per, sum_us, e2e_us,
+                              diff_pct});
+        }
+    }
+    shrimp::bench::printTable(
+        header + " — per-message stage breakdown (us)", rows,
+        {"lib", "nic-out", "mesh", "dma-in", "detect", "sum", "end2end",
+         "diff%"},
+        values);
+    std::printf("stage sums %s end-to-end (|diff| <= 1%%)\n\n",
+                all_ok ? "MATCH" : "DO NOT MATCH");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace shrimp::bench;
+    shrimp::trace::parseCliFlags(argc, argv);
+
+    printBanner("Latency breakdown",
+                "End-to-end message time attributed to datapath stages",
+                "library overhead -> OPT/packetizer -> mesh link -> "
+                "incoming DMA -> notification/poll (sections 3-5)");
+
+    printBreakdown("raw VMMC (fig3 ping-pong, one-way)", measureRaw,
+                   {"AU-1copy", "AU-2copy", "DU-0copy", "DU-1copy"},
+                   {4, 1024});
+    printBreakdown("NX (fig4 ping-pong, one-way)", measureNx,
+                   {"AU-1copy", "AU-2copy", "DU-0copy", "DU-1copy",
+                    "DU-2copy"},
+                   {4, 1024});
+    printBreakdown("VRPC (fig5 null call, round trip)", measureVrpc,
+                   {"AU-1copy", "DU-1copy"}, {4, 1024});
+    return 0;
+}

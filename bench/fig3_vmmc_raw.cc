@@ -157,6 +157,7 @@ int
 main(int argc, char **argv)
 {
     using namespace shrimp::bench;
+    shrimp::trace::parseCliFlags(argc, argv);
 
     printBanner("Figure 3",
                 "Latency and bandwidth delivered by the SHRIMP VMMC "

@@ -95,8 +95,9 @@ worker(nx::NxSystem &nxs, int rank, double *final_residual, int *sweeps)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    shrimp::trace::parseCliFlags(argc, argv);
     vmmc::System sys;
     nx::NxSystem nxs(sys, kRanks);
     sys.sim().spawn(nxs.init());

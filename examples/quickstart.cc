@@ -74,8 +74,9 @@ demo(vmmc::System &sys, vmmc::Endpoint &sender, vmmc::Endpoint &receiver)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    shrimp::trace::parseCliFlags(argc, argv);
     vmmc::System sys; // the 4-node (2x2 mesh) prototype
     vmmc::Endpoint &sender = sys.createEndpoint(0);
     vmmc::Endpoint &receiver = sys.createEndpoint(1);

@@ -148,8 +148,9 @@ client(vmmc::Endpoint &ep, int id, int *ops_done)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    shrimp::trace::parseCliFlags(argc, argv);
     vmmc::System sys;
     vmmc::Endpoint &server_ep = sys.createEndpoint(1);
     vmmc::Endpoint &client_a = sys.createEndpoint(0);

@@ -122,8 +122,9 @@ sendFile(vmmc::Endpoint &ep, const char *name, std::size_t length,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    shrimp::trace::parseCliFlags(argc, argv);
     vmmc::System sys;
     vmmc::Endpoint &server_ep = sys.createEndpoint(1);
     vmmc::Endpoint &client_a = sys.createEndpoint(0);

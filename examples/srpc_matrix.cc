@@ -80,8 +80,9 @@ clientTask(vmmc::Endpoint &ep, const srpc::Interface &iface,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    shrimp::trace::parseCliFlags(argc, argv);
     vmmc::System sys;
     vmmc::Endpoint &server_ep = sys.createEndpoint(1);
     vmmc::Endpoint &client_ep = sys.createEndpoint(0);

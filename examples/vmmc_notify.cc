@@ -93,8 +93,9 @@ producer(vmmc::Endpoint &ep)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    shrimp::trace::parseCliFlags(argc, argv);
     vmmc::System sys;
     vmmc::Endpoint &prod = sys.createEndpoint(0);
     vmmc::Endpoint &cons = sys.createEndpoint(1);

@@ -1,9 +1,49 @@
 #include "base/config.hh"
 
+#include <cstdlib>
+
+#ifdef __GLIBC__
+#include <malloc.h>
+#endif
+
 #include "base/logging.hh"
+#include "base/trace.hh"
 
 namespace shrimp
 {
+
+void
+applyEnvOverrides()
+{
+    // Benchmarks build one simulated machine per measured point, each
+    // holding tens of MB of node memory. Left to its own heuristics,
+    // glibc can serve those buffers with per-machine mmap/munmap, which
+    // refaults every page on every measurement (~6x wall clock on the
+    // figure benches). Pin the threshold so they stay in the arena.
+    static bool alloc_tuned = false;
+    if (!alloc_tuned) {
+        alloc_tuned = true;
+#ifdef __GLIBC__
+        mallopt(M_MMAP_THRESHOLD, 64 << 20);
+#endif
+    }
+    if (const char *lvl = std::getenv("SHRIMP_LOG_LEVEL")) {
+        char *end = nullptr;
+        long v = std::strtol(lvl, &end, 10);
+        if (end != lvl && *end == '\0' && v >= 0 && v <= 3)
+            logging::verbosity = int(v);
+        else
+            warn(logging::format("ignoring bad SHRIMP_LOG_LEVEL=%s", lvl));
+    }
+    if (const char *path = std::getenv("SHRIMP_TRACE")) {
+        if (*path && trace::outputPath().empty())
+            trace::setOutputPath(path);
+    }
+    if (const char *s = std::getenv("SHRIMP_STATS")) {
+        if (*s)
+            trace::setStatsDumpRequested(true);
+    }
+}
 
 double
 MachineConfig::copyBw(CacheMode mode) const

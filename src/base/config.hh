@@ -20,6 +20,19 @@
 namespace shrimp
 {
 
+/**
+ * Apply SHRIMP_* environment overrides to the process-wide observability
+ * knobs. Reads:
+ *   SHRIMP_LOG_LEVEL  integer for logging::verbosity (0=errors, 1=warn,
+ *                     2=inform, 3=debug)
+ *   SHRIMP_TRACE      path for a Chrome trace-event JSON dump at exit
+ *                     (enables the tracer)
+ *   SHRIMP_STATS      any non-empty value dumps the StatRegistry at exit
+ * Idempotent and cheap; called from Machine construction and from
+ * trace::parseCliFlags().
+ */
+void applyEnvOverrides();
+
 /** How a virtual page is cached by the node CPU (section 3.1). */
 enum class CacheMode
 {

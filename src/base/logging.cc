@@ -22,6 +22,12 @@ format(const char *fmt, ...)
     return std::string(buf);
 }
 
+void
+debugPrint(const std::string &msg)
+{
+    std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
 } // namespace logging
 
 void

@@ -40,8 +40,13 @@ namespace logging
 /** Format a printf-style message into a std::string. */
 std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Global verbosity: 0 = errors only, 1 = warn, 2 = inform. */
+/** Global verbosity: 0 = errors only, 1 = warn, 2 = inform, 3 = debug.
+ *  Overridable at runtime with SHRIMP_LOG_LEVEL (see applyEnvOverrides
+ *  in base/config.hh). */
 extern int verbosity;
+
+/** Print a debug line to stderr (used by SHRIMP_DEBUG). */
+void debugPrint(const std::string &msg);
 } // namespace logging
 
 /** Report an internal error and throw PanicError. */
@@ -55,6 +60,24 @@ void warn(const std::string &msg);
 
 /** Print an informational message to stdout (when verbosity >= 2). */
 void inform(const std::string &msg);
+
+/**
+ * Debug logging: printf-style, printed only when verbosity >= 3, and
+ * compiled out entirely in release (NDEBUG) builds so hot paths carry
+ * no cost.
+ */
+#ifdef NDEBUG
+#define SHRIMP_DEBUG(...)                                                    \
+    do {                                                                     \
+    } while (0)
+#else
+#define SHRIMP_DEBUG(...)                                                    \
+    do {                                                                     \
+        if (::shrimp::logging::verbosity >= 3)                               \
+            ::shrimp::logging::debugPrint(                                   \
+                ::shrimp::logging::format(__VA_ARGS__));                     \
+    } while (0)
+#endif
 
 /** Panic unless the given condition holds. */
 #define SHRIMP_ASSERT(cond, msg)                                             \

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tick-accurate tracing keyed off the simulated clock.
+ *
+ * Components register a *track* (one row in the viewer: a CPU, a NIC
+ * datapath block, a bus, a daemon, a library instance) and record span
+ * begin/end pairs and instant events against it, passing the current
+ * simulated tick explicitly. The Tracer buffers events in memory and
+ * can emit them as Chrome trace-event JSON, loadable in Perfetto
+ * (https://ui.perfetto.dev) or chrome://tracing; each track appears as
+ * a named thread.
+ *
+ * Tracing is off by default: every recording call first checks a single
+ * global flag (see on()), so an instrumented simulation pays one
+ * predictable branch per event when disabled. Enable at runtime with
+ * parseCliFlags() (--trace=<file>), setEnabled(), or the SHRIMP_TRACE
+ * environment variable (see applyEnvOverrides() in base/config.hh).
+ *
+ * Determinism: events are stored in recording order and timestamps are
+ * simulated ticks, so two identical runs emit byte-identical JSON (the
+ * EventQueue's sequence-number tie-breaking fixes the order of events
+ * that share a tick).
+ */
+
+#ifndef SHRIMP_BASE_TRACE_HH
+#define SHRIMP_BASE_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace shrimp::trace
+{
+
+using TrackId = std::uint32_t;
+
+namespace detail
+{
+extern bool gEnabled;
+} // namespace detail
+
+/** Fast global check compiled into every recording call site. */
+inline bool on() { return detail::gEnabled; }
+
+class Tracer
+{
+  public:
+    /** Event phases, mirroring the Chrome trace-event "ph" field. */
+    enum class Phase : std::uint8_t
+    {
+        Begin,   //!< "B": span start
+        End,     //!< "E": span end
+        Instant, //!< "i": point event
+    };
+
+    struct Event
+    {
+        Tick tick;
+        TrackId track;
+        /** Event name. Must outlive the Tracer (string literals). */
+        const char *name;
+        Phase phase;
+    };
+
+    /** The process-wide tracer all instrumentation records into. */
+    static Tracer &instance();
+
+    /** Master switch; mirrored into the on() fast-path flag. */
+    void setEnabled(bool enabled);
+    bool enabled() const { return detail::gEnabled; }
+
+    /**
+     * Register (or look up) the track named @p name. Track names are
+     * deduplicated so components recreated across simulations (e.g. one
+     * vmmc::System per benchmark point) share a row.
+     */
+    TrackId track(const std::string &name);
+
+    void
+    begin(TrackId t, const char *name, Tick tick)
+    {
+        events_.push_back(Event{tick, t, name, Phase::Begin});
+    }
+
+    void
+    end(TrackId t, const char *name, Tick tick)
+    {
+        events_.push_back(Event{tick, t, name, Phase::End});
+    }
+
+    void
+    instant(TrackId t, const char *name, Tick tick)
+    {
+        events_.push_back(Event{tick, t, name, Phase::Instant});
+    }
+
+    const std::vector<Event> &events() const { return events_; }
+    const std::string &trackName(TrackId t) const { return tracks_.at(t); }
+    std::size_t numTracks() const { return tracks_.size(); }
+
+    /** Drop all recorded events (registered tracks are kept). */
+    void clear() { events_.clear(); }
+
+    /** Emit everything recorded so far as Chrome trace-event JSON. */
+    void writeJson(std::ostream &os) const;
+
+    /** writeJson() to @p path; warns and returns false on I/O failure. */
+    bool writeJsonFile(const std::string &path) const;
+
+  private:
+    std::vector<std::string> tracks_;
+    std::vector<Event> events_;
+};
+
+/** Record an instant event if tracing is enabled. */
+inline void
+instant(TrackId t, const char *name, Tick tick)
+{
+    if (on())
+        Tracer::instance().instant(t, name, tick);
+}
+
+/** Register a track on the global tracer. */
+inline TrackId
+track(const std::string &name)
+{
+    return Tracer::instance().track(name);
+}
+
+/**
+ * RAII span: begins at construction, ends at destruction, reading the
+ * simulated time from @p clock (anything with a now() returning Tick —
+ * sim::EventQueue, sim::Simulator). Inside a coroutine the span lives
+ * in the frame, so it correctly brackets suspensions.
+ */
+template <typename Clock>
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const Clock &clock, TrackId track, const char *name)
+        : clock_(clock), track_(track), name_(name), active_(on())
+    {
+        if (active_)
+            Tracer::instance().begin(track_, name_, clock_.now());
+    }
+
+    ~ScopedSpan()
+    {
+        if (active_)
+            Tracer::instance().end(track_, name_, clock_.now());
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    const Clock &clock_;
+    TrackId track_;
+    const char *name_;
+    bool active_;
+};
+
+/**
+ * Observability command-line flags, shared by the benchmarks and the
+ * examples:
+ *
+ *   --trace=<file>   enable tracing; write Chrome trace JSON to <file>
+ *                    at process exit
+ *   --stats          dump the global StatRegistry (text form) to stdout
+ *                    at process exit
+ *
+ * Recognized flags are removed from argv/argc so downstream parsers
+ * (google-benchmark) never see them. Also applies the SHRIMP_*
+ * environment overrides (see base/config.hh).
+ */
+void parseCliFlags(int &argc, char **argv);
+
+/** Where --trace output goes ("" = tracing not requested via CLI/env). */
+const std::string &outputPath();
+void setOutputPath(const std::string &path);
+
+/** Whether --stats / SHRIMP_STATS requested a stats dump at exit. */
+bool statsDumpRequested();
+void setStatsDumpRequested(bool v);
+
+} // namespace shrimp::trace
+
+#endif // SHRIMP_BASE_TRACE_HH

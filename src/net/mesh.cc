@@ -6,13 +6,21 @@ namespace shrimp::net
 {
 
 Mesh::Mesh(sim::Simulator &sim, const MachineConfig &cfg)
-    : sim_(sim), width_(cfg.meshWidth), height_(cfg.meshHeight)
+    : sim_(sim), width_(cfg.meshWidth), height_(cfg.meshHeight),
+      stats_("mesh"),
+      statPacketsInjected_(stats_.counter("packetsInjected")),
+      statBytesInjected_(stats_.counter("bytesInjected")),
+      statPacketsDelivered_(stats_.counter("packetsDelivered")),
+      statHops_(stats_.distribution("hops"))
 {
     int n = numNodes();
     routers_.reserve(n);
+    routerTracks_.reserve(n);
     for (int i = 0; i < n; ++i) {
         routers_.push_back(
             std::make_unique<Router>(sim.queue(), NodeId(i), cfg));
+        routerTracks_.push_back(
+            trace::track("router" + std::to_string(i)));
     }
     // Wire up the grid: every interior edge gets a link in each direction.
     for (NodeId i = 0; i < NodeId(n); ++i) {
@@ -77,6 +85,9 @@ Mesh::inject(Packet pkt)
     if (pkt.src >= numNodes() || pkt.dst >= numNodes())
         panic("packet injected with out-of-range node id");
     pkt.seq = nextSeq_++;
+    statPacketsInjected_ += 1;
+    statBytesInjected_ += pkt.payload.size();
+    statHops_.sample(double(hops(pkt.src, pkt.dst)));
     sim_.spawn(routeTask(std::move(pkt)));
 }
 
@@ -91,6 +102,8 @@ Mesh::routeTask(Packet pkt)
         cur = next;
     }
     ++delivered_;
+    statPacketsDelivered_ += 1;
+    trace::instant(routerTracks_[cur], "pkt.ejected", sim_.queue().now());
     routers_[cur]->eject(std::move(pkt));
 }
 

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "base/config.hh"
+#include "base/stats.hh"
+#include "base/trace.hh"
 #include "net/packet.hh"
 #include "net/router.hh"
 #include "sim/simulator.hh"
@@ -63,6 +65,13 @@ class Mesh
     std::vector<std::unique_ptr<Router>> routers_;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t delivered_ = 0;
+    stats::Group stats_;
+    std::vector<trace::TrackId> routerTracks_;
+    // Per-packet path; stat lookups hoisted to construction.
+    stats::Counter &statPacketsInjected_;
+    stats::Counter &statBytesInjected_;
+    stats::Counter &statPacketsDelivered_;
+    stats::Distribution &statHops_;
 };
 
 } // namespace shrimp::net

@@ -6,12 +6,20 @@ namespace shrimp::nic
 {
 
 IncomingDmaEngine::IncomingDmaEngine(sim::Simulator &sim,
-                                     const MachineConfig &cfg,
+                                     const MachineConfig &cfg, NodeId self,
                                      mem::Memory &memory, sim::Bus &eisa,
                                      IncomingPageTable &ipt,
                                      sim::Channel<net::Packet> &input)
-    : sim_(sim), cfg_(cfg), mem_(memory), eisa_(eisa), ipt_(ipt),
-      input_(input), unfreezeCond_(sim.queue()), drainCond_(sim.queue())
+    : sim_(sim), cfg_(cfg), self_(self), mem_(memory), eisa_(eisa),
+      ipt_(ipt), input_(input), unfreezeCond_(sim.queue()),
+      drainCond_(sim.queue()),
+      stats_("node" + std::to_string(self) + ".nic.in"),
+      track_(trace::track(stats_.name())),
+      statFreezes_(stats_.counter("freezes")),
+      statPacketsDropped_(stats_.counter("packetsDropped")),
+      statPacketsDelivered_(stats_.counter("packetsDelivered")),
+      statBytesDelivered_(stats_.counter("bytesDelivered")),
+      statNotifications_(stats_.counter("notifications"))
 {
 }
 
@@ -27,6 +35,11 @@ IncomingDmaEngine::loop()
         if (!ipt_.rangeEnabled(pkt.destAddr, len, cfg_.pageBytes)) {
             // Freeze the receive datapath and interrupt the node CPU.
             ++freezes_;
+            statFreezes_ += 1;
+            trace::instant(track_, "freeze", sim_.queue().now());
+            SHRIMP_DEBUG("node%d incoming: freeze on page %u at %llu ns",
+                         int(self_), unsigned(page),
+                         (unsigned long long)sim_.queue().now());
             frozen_ = true;
             if (!badHandler_) {
                 panic(logging::format(
@@ -47,6 +60,7 @@ IncomingDmaEngine::loop()
 
         if (drop) {
             ++dropped_;
+            statPacketsDropped_ += 1;
             noteDone(pkt.destAddr);
             continue;
         }
@@ -55,10 +69,15 @@ IncomingDmaEngine::loop()
         mem_.write(pkt.destAddr, pkt.payload.data(), len);
         ++delivered_;
         bytesDelivered_ += len;
+        statPacketsDelivered_ += 1;
+        statBytesDelivered_ += len;
+        trace::instant(track_, "pkt.delivered", sim_.queue().now());
         noteDone(pkt.destAddr);
 
         if (pkt.senderInterrupt && ipt_.interrupt(page)) {
             ++notifications_;
+            statNotifications_ += 1;
+            trace::instant(track_, "notify", sim_.queue().now());
             if (notifyHandler_)
                 notifyHandler_(pkt);
         }

@@ -22,6 +22,8 @@
 #include <map>
 
 #include "base/config.hh"
+#include "base/stats.hh"
+#include "base/trace.hh"
 #include "mem/memory.hh"
 #include "net/packet.hh"
 #include "nic/incoming_page_table.hh"
@@ -51,7 +53,7 @@ class IncomingDmaEngine
     using NotifyHandler = std::function<void(const net::Packet &)>;
 
     IncomingDmaEngine(sim::Simulator &sim, const MachineConfig &cfg,
-                      mem::Memory &memory, sim::Bus &eisa,
+                      NodeId self, mem::Memory &memory, sim::Bus &eisa,
                       IncomingPageTable &ipt,
                       sim::Channel<net::Packet> &input);
 
@@ -83,6 +85,7 @@ class IncomingDmaEngine
 
     sim::Simulator &sim_;
     const MachineConfig &cfg_;
+    NodeId self_;
     mem::Memory &mem_;
     sim::Bus &eisa_;
     IncomingPageTable &ipt_;
@@ -103,6 +106,15 @@ class IncomingDmaEngine
     std::uint64_t bytesDelivered_ = 0;
     std::uint64_t notifications_ = 0;
     std::uint64_t freezes_ = 0;
+
+    stats::Group stats_;
+    trace::TrackId track_;
+    // Per-packet path; stat lookups hoisted to construction.
+    stats::Counter &statFreezes_;
+    stats::Counter &statPacketsDropped_;
+    stats::Counter &statPacketsDelivered_;
+    stats::Counter &statBytesDelivered_;
+    stats::Counter &statNotifications_;
 };
 
 } // namespace shrimp::nic

@@ -9,7 +9,15 @@ namespace shrimp::nic
 
 Packetizer::Packetizer(sim::Simulator &sim, const MachineConfig &cfg,
                        NodeId self, sim::Channel<net::Packet> &out_fifo)
-    : sim_(sim), cfg_(cfg), self_(self), outFifo_(out_fifo)
+    : sim_(sim), cfg_(cfg), self_(self), outFifo_(out_fifo),
+      stats_("node" + std::to_string(self) + ".nic.out"),
+      track_(trace::track(stats_.name())),
+      statPacketsFormed_(stats_.counter("packetsFormed")),
+      statDuPackets_(stats_.counter("duPackets")),
+      statBytesFormed_(stats_.counter("bytesFormed")),
+      statWritesCombined_(stats_.counter("writesCombined")),
+      statTimerFlushes_(stats_.counter("timerFlushes")),
+      statPacketBytes_(stats_.distribution("packetBytes"))
 {
 }
 
@@ -31,6 +39,7 @@ Packetizer::auWrite(const OptEntry &e, PAddr dest_addr, const void *data,
             pending_->payload.insert(pending_->payload.end(), bytes,
                                      bytes + len);
             ++writesCombined_;
+            statWritesCombined_ += 1;
             armTimer();
             if (pending_->payload.size() >= cfg_.auCombineLimit)
                 flushPending();
@@ -74,6 +83,10 @@ Packetizer::armTimer()
     sim_.queue().scheduleIn(cfg_.auCombineTimeout, [this, gen] {
         if (pending_ && gen == timerGen_) {
             ++timerFlushes_;
+            statTimerFlushes_ += 1;
+            SHRIMP_DEBUG("node%d packetizer: timer flush at %llu ns",
+                         int(self_),
+                         (unsigned long long)sim_.queue().now());
             flushPending();
         }
     });
@@ -86,6 +99,10 @@ Packetizer::flushPending()
         return;
     ++timerGen_; // cancel any armed timer
     ++packetsFormed_;
+    statPacketsFormed_ += 1;
+    statBytesFormed_ += pending_->payload.size();
+    statPacketBytes_.sample(double(pending_->payload.size()));
+    trace::instant(track_, "pkt.formed", sim_.queue().now());
     outFifo_.send(std::move(*pending_));
     pending_.reset();
 }
@@ -97,6 +114,11 @@ Packetizer::duPacket(net::Packet pkt)
     flushPending();
     pkt.src = self_;
     ++packetsFormed_;
+    statPacketsFormed_ += 1;
+    statDuPackets_ += 1;
+    statBytesFormed_ += pkt.payload.size();
+    statPacketBytes_.sample(double(pkt.payload.size()));
+    trace::instant(track_, "pkt.formed", sim_.queue().now());
     outFifo_.send(std::move(pkt));
 }
 

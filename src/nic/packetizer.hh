@@ -23,6 +23,7 @@
 
 #include "base/config.hh"
 #include "base/stats.hh"
+#include "base/trace.hh"
 #include "net/packet.hh"
 #include "nic/outgoing_page_table.hh"
 #include "sim/simulator.hh"
@@ -74,6 +75,17 @@ class Packetizer
     std::uint64_t packetsFormed_ = 0;
     std::uint64_t writesCombined_ = 0;
     std::uint64_t timerFlushes_ = 0;
+
+    stats::Group stats_;
+    trace::TrackId track_;
+    // auWrite() runs per snooped store; stat lookups are hoisted to
+    // construction so the per-write cost is a plain increment.
+    stats::Counter &statPacketsFormed_;
+    stats::Counter &statDuPackets_;
+    stats::Counter &statBytesFormed_;
+    stats::Counter &statWritesCombined_;
+    stats::Counter &statTimerFlushes_;
+    stats::Distribution &statPacketBytes_;
 };
 
 } // namespace shrimp::nic

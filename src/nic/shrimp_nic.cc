@@ -12,7 +12,12 @@ ShrimpNic::ShrimpNic(sim::Simulator &sim, const MachineConfig &cfg,
       outFifo_(sim.queue()), opt_(memory.numPages()),
       ipt_(memory.numPages()), packetizer_(sim, cfg, self, outFifo_),
       duEngine_(cfg, memory, eisa, packetizer_),
-      incoming_(sim, cfg, memory, eisa, ipt_, input)
+      incoming_(sim, cfg, self, memory, eisa, ipt_, input),
+      stats_("node" + std::to_string(self) + ".nic"),
+      track_(trace::track(stats_.name())),
+      statPacketsInjected_(stats_.counter("packetsInjected")),
+      statOptLookups_(stats_.counter("optLookups")),
+      statOptHits_(stats_.counter("optHits"))
 {
 }
 
@@ -44,6 +49,8 @@ ShrimpNic::pumpLoop()
         if (!inject_)
             panic("NIC has no mesh injector installed");
         ++injected_;
+        statPacketsInjected_ += 1;
+        trace::instant(track_, "pkt.injected", sim_.queue().now());
         inject_(std::move(pkt));
     }
 }
@@ -56,9 +63,11 @@ ShrimpNic::snoopWrite(PAddr addr, const void *data, std::size_t len)
     PageNum page = mem_.pageOf(addr);
     if (mem_.pageOf(addr + PAddr(len) - 1) != page)
         panic("snooped write crosses a page boundary");
+    statOptLookups_ += 1;
     const OptEntry *e = opt_.lookupPage(page);
     if (!e)
         return;
+    statOptHits_ += 1;
     PAddr dest = e->destBase + PAddr(addr % cfg_.pageBytes);
     packetizer_.auWrite(*e, dest, data, len);
 }

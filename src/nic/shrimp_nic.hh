@@ -16,6 +16,8 @@
 #include <functional>
 
 #include "base/config.hh"
+#include "base/stats.hh"
+#include "base/trace.hh"
 #include "mem/memory.hh"
 #include "net/packet.hh"
 #include "nic/deliberate_update_engine.hh"
@@ -88,6 +90,14 @@ class ShrimpNic
     std::function<void(net::Packet)> inject_;
     std::uint64_t injected_ = 0;
     bool started_ = false;
+
+    stats::Group stats_;
+    trace::TrackId track_;
+    // snoopWrite() runs per snooped store; stat lookups are hoisted to
+    // construction so the per-store cost is a plain increment.
+    stats::Counter &statPacketsInjected_;
+    stats::Counter &statOptLookups_;
+    stats::Counter &statOptHits_;
 };
 
 } // namespace shrimp::nic

@@ -3,8 +3,11 @@
 namespace shrimp::node
 {
 
-Cpu::Cpu(sim::EventQueue &queue, const MachineConfig &cfg)
-    : queue_(queue), cfg_(cfg), lock_(queue, 1)
+Cpu::Cpu(sim::EventQueue &queue, const MachineConfig &cfg, std::string name)
+    : queue_(queue), cfg_(cfg), lock_(queue, 1), stats_(std::move(name)),
+      track_(trace::track(stats_.name())),
+      statUses_(stats_.counter("uses")),
+      statBusyNs_(stats_.counter("busyNs"))
 {
 }
 
@@ -12,8 +15,11 @@ sim::Task<>
 Cpu::use(Tick t)
 {
     co_await lock_.acquire();
+    trace::ScopedSpan span(queue_, track_, "compute");
     co_await sim::Delay{queue_, t};
     busyTime_ += t;
+    statUses_ += 1;
+    statBusyNs_ += t;
     lock_.release();
 }
 

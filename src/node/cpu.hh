@@ -9,7 +9,11 @@
 #ifndef SHRIMP_NODE_CPU_HH
 #define SHRIMP_NODE_CPU_HH
 
+#include <string>
+
 #include "base/config.hh"
+#include "base/stats.hh"
+#include "base/trace.hh"
 #include "base/types.hh"
 #include "sim/sync.hh"
 #include "sim/task.hh"
@@ -20,7 +24,8 @@ namespace shrimp::node
 class Cpu
 {
   public:
-    Cpu(sim::EventQueue &queue, const MachineConfig &cfg);
+    Cpu(sim::EventQueue &queue, const MachineConfig &cfg,
+        std::string name = "cpu");
 
     /** Occupy the CPU for @p t ticks of computation. */
     sim::Task<> use(Tick t);
@@ -31,12 +36,19 @@ class Cpu
 
     const MachineConfig &config() const { return cfg_; }
     Tick busyTime() const { return busyTime_; }
+    stats::Group &stats() { return stats_; }
 
   private:
     sim::EventQueue &queue_;
     const MachineConfig &cfg_;
     sim::Semaphore lock_;
     Tick busyTime_ = 0;
+    stats::Group stats_;
+    trace::TrackId track_;
+    // use() is the hottest call in the simulator (every poll iteration
+    // lands here); stat lookups are hoisted to construction.
+    stats::Counter &statUses_;
+    stats::Counter &statBusyNs_;
 };
 
 } // namespace shrimp::node

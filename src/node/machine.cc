@@ -2,12 +2,14 @@
 
 #include <ostream>
 
+#include "base/config.hh"
+
 namespace shrimp::node
 {
 
 Machine::Machine(MachineConfig cfg)
-    : cfg_((cfg.validate(), std::move(cfg))), mesh_(sim_, cfg_),
-      ether_(sim_, cfg_, cfg_.numNodes())
+    : cfg_((applyEnvOverrides(), cfg.validate(), std::move(cfg))),
+      mesh_(sim_, cfg_), ether_(sim_, cfg_, cfg_.numNodes())
 {
     int n = cfg_.numNodes();
     nodes_.reserve(n);

@@ -14,7 +14,7 @@ Node::Node(sim::Simulator &sim, const MachineConfig &cfg, NodeId id,
            "node" + std::to_string(id) + ".mem"),
       eisa_(sim.queue(), cfg.eisaDmaBw,
             "node" + std::to_string(id) + ".eisa"),
-      cpu_(sim.queue(), cfg),
+      cpu_(sim.queue(), cfg, "node" + std::to_string(id) + ".cpu"),
       nic_(sim, cfg, id, mem_, eisa_, router_eject)
 {
 }

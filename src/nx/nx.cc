@@ -35,7 +35,9 @@ typeMatches(long typesel, long type)
 
 NxProc::NxProc(vmmc::Endpoint &ep, int rank, NxSystem &system)
     : ep_(ep), rank_(rank), system_(system),
-      nextWindowKey_(0x4E590000u + std::uint32_t(rank) * 0x1000u)
+      nextWindowKey_(0x4E590000u + std::uint32_t(rank) * 0x1000u),
+      stats_("nx.rank" + std::to_string(rank)),
+      track_(trace::track(stats_.name()))
 {
     safePool_.push_back(ep_.proc().alloc(system.options().safeCopyBytes));
     scratch_ = ep_.proc().alloc(2 * system.options().pktDataBytes + 4096);
@@ -89,6 +91,10 @@ sim::Task<>
 NxProc::csend(long type, VAddr buf, std::size_t len, int dest)
 {
     node::Process &proc = ep_.proc();
+    trace::ScopedSpan span(proc.sim(), track_, "csend");
+    stats_.counter("csends") += 1;
+    stats_.counter("sentBytes") += len;
+    stats_.distribution("csendBytes").sample(double(len));
     co_await proc.compute(proc.config().libCallCost + nxSendOverhead);
     co_await progress();
     if (dest == rank_)
@@ -158,6 +164,7 @@ NxProc::sendLarge(int dest, long type, VAddr buf, std::size_t len)
     Connection &c = conn(dest);
     node::Process &proc = ep_.proc();
     const NxOptions &opt = system_.options();
+    stats_.counter("scouts") += 1;
     // Send the scout through the one-copy protocol.
     std::uint32_t stamp = c.takeStamp();
     {
@@ -401,6 +408,8 @@ sim::Task<std::size_t>
 NxProc::crecv(long typesel, VAddr buf, std::size_t maxlen)
 {
     node::Process &proc = ep_.proc();
+    trace::ScopedSpan span(proc.sim(), track_, "crecv");
+    stats_.counter("crecvs") += 1;
     co_await proc.compute(proc.config().libCallCost);
     for (;;) {
         co_await progress();

@@ -30,6 +30,8 @@
 #include <optional>
 #include <vector>
 
+#include "base/stats.hh"
+#include "base/trace.hh"
 #include "nx/connection.hh"
 
 namespace shrimp::nx
@@ -252,6 +254,9 @@ class NxProc
     };
     std::vector<ExportedWindow> windows_;
     std::uint32_t nextWindowKey_;
+
+    stats::Group stats_;
+    trace::TrackId track_;
 };
 
 /**

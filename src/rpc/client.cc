@@ -6,7 +6,10 @@ namespace shrimp::rpc
 {
 
 VrpcClient::VrpcClient(vmmc::Endpoint &ep, VrpcOptions opt)
-    : ep_(ep), opt_(opt)
+    : ep_(ep), opt_(opt),
+      stats_("node" + std::to_string(ep.nodeId()) + ".p" +
+             std::to_string(ep.pid()) + ".vrpc"),
+      track_(trace::track(stats_.name()))
 {
 }
 
@@ -33,6 +36,8 @@ VrpcClient::call(std::uint32_t proc, EncodeFn encode_args,
     if (!transport_)
         panic("clnt_call on an unconnected client");
     node::Process &p = ep_.proc();
+    trace::ScopedSpan span(p.sim(), track_, "call");
+    stats_.counter("calls") += 1;
 
     // "About 7 usecs are spent in preparing the header and making the
     // call": library entry plus the header fields encoded below.

@@ -13,6 +13,8 @@
 #include <functional>
 #include <memory>
 
+#include "base/stats.hh"
+#include "base/trace.hh"
 #include "rpc/rpc_msg.hh"
 #include "rpc/vrpc_stream.hh"
 
@@ -60,6 +62,8 @@ class VrpcClient
     std::uint32_t vers_ = 0;
     std::uint32_t nextXid_ = 1;
     std::uint64_t calls_ = 0;
+    stats::Group stats_;
+    trace::TrackId track_;
 };
 
 } // namespace shrimp::rpc

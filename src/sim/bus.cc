@@ -7,7 +7,11 @@ namespace shrimp::sim
 
 Bus::Bus(EventQueue &queue, double mb_per_sec, std::string name)
     : queue_(queue), bw_(mb_per_sec), lock_(queue, 1),
-      stats_(std::move(name))
+      stats_(std::move(name)), track_(trace::track(stats_.name())),
+      statTransactions_(stats_.counter("transactions")),
+      statBytes_(stats_.counter("bytes")),
+      statOccupancyNs_(stats_.counter("occupancyNs")),
+      statXferBytes_(stats_.distribution("xferBytes"))
 {
     if (bw_ <= 0.0)
         fatal("bus bandwidth must be positive");
@@ -23,13 +27,16 @@ Task<>
 Bus::transfer(std::size_t bytes, Tick setup)
 {
     co_await lock_.acquire();
+    trace::ScopedSpan span(queue_, track_, "xfer");
     Tick t = occupancy(bytes, setup);
     co_await Delay{queue_, t};
     busyTime_ += t;
     bytes_ += bytes;
     ++transactions_;
-    stats_.counter("transactions") += 1;
-    stats_.counter("bytes") += bytes;
+    statTransactions_ += 1;
+    statBytes_ += bytes;
+    statOccupancyNs_ += t;
+    statXferBytes_.sample(double(bytes));
     lock_.release();
 }
 

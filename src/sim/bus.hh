@@ -13,6 +13,7 @@
 #include <string>
 
 #include "base/stats.hh"
+#include "base/trace.hh"
 #include "base/types.hh"
 #include "sim/sync.hh"
 #include "sim/task.hh"
@@ -53,6 +54,13 @@ class Bus
     std::uint64_t bytes_ = 0;
     std::uint64_t transactions_ = 0;
     stats::Group stats_;
+    trace::TrackId track_;
+    // Hot path: stat lookups are hoisted to construction (the returned
+    // references are stable), so transfer() pays plain increments.
+    stats::Counter &statTransactions_;
+    stats::Counter &statBytes_;
+    stats::Counter &statOccupancyNs_;
+    stats::Distribution &statXferBytes_;
 };
 
 } // namespace shrimp::sim

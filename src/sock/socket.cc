@@ -47,7 +47,10 @@ unpack(const std::vector<std::uint8_t> &data)
 SocketLib::SocketLib(vmmc::Endpoint &ep, SockOptions opt)
     : ep_(ep), opt_(opt),
       keyBase_(0x534b0000u + (std::uint32_t(ep.nodeId()) << 12) +
-               (std::uint32_t(ep.pid()) << 8))
+               (std::uint32_t(ep.pid()) << 8)),
+      stats_("node" + std::to_string(ep.nodeId()) + ".p" +
+             std::to_string(ep.pid()) + ".sock"),
+      track_(trace::track(stats_.name()))
 {
 }
 
@@ -155,6 +158,9 @@ sim::Task<long>
 SocketLib::send(int fd, VAddr buf, std::size_t len)
 {
     node::Process &proc = ep_.proc();
+    trace::ScopedSpan span(proc.sim(), track_, "send");
+    stats_.counter("sends") += 1;
+    stats_.counter("sentBytes") += len;
     co_await proc.compute(proc.config().libCallCost);
     Sock &s = sock(fd);
     if (s.state != State::Connected)
@@ -168,6 +174,8 @@ sim::Task<long>
 SocketLib::recv(int fd, VAddr buf, std::size_t maxlen)
 {
     node::Process &proc = ep_.proc();
+    trace::ScopedSpan span(proc.sim(), track_, "recv");
+    stats_.counter("recvs") += 1;
     co_await proc.compute(proc.config().libCallCost);
     Sock &s = sock(fd);
     if (s.state != State::Connected && s.state != State::ShutDown)

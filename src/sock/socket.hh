@@ -24,6 +24,8 @@
 #include <memory>
 #include <vector>
 
+#include "base/stats.hh"
+#include "base/trace.hh"
 #include "sock/ring.hh"
 
 namespace shrimp::sock
@@ -125,6 +127,8 @@ class SocketLib
     std::vector<std::unique_ptr<Sock>> fds_;
     std::uint32_t keyBase_;
     std::uint32_t keyCount_ = 0;
+    stats::Group stats_;
+    trace::TrackId track_;
 };
 
 } // namespace shrimp::sock

@@ -153,7 +153,10 @@ Interface::outOff(std::uint32_t proc, std::size_t i) const
 // ---- client ----------------------------------------------------------
 
 SrpcClient::SrpcClient(vmmc::Endpoint &ep, const Interface &iface)
-    : ep_(ep), iface_(iface)
+    : ep_(ep), iface_(iface),
+      stats_("node" + std::to_string(ep.nodeId()) + ".p" +
+             std::to_string(ep.pid()) + ".srpc"),
+      track_(trace::track(stats_.name()))
 {
 }
 
@@ -196,6 +199,8 @@ SrpcClient::call(std::uint32_t proc, std::vector<Param> params)
     if (importHandle_ < 0)
         panic("SRPC call before bind");
     node::Process &p = ep_.proc();
+    trace::ScopedSpan span(p.sim(), track_, "call");
+    stats_.counter("calls") += 1;
     const Signature &sig = iface_.signature(proc);
     if (params.size() != sig.params.size())
         panic("SRPC call with wrong parameter count");

@@ -148,6 +148,8 @@ class SrpcClient
     VAddr buf_ = 0; //!< local buffer (server's AU writes land here)
     int importHandle_ = -1;
     std::uint32_t seq_ = 0;
+    stats::Group stats_;
+    trace::TrackId track_;
 };
 
 /** Server-side view of one in-progress call: by-reference access to the

@@ -30,7 +30,9 @@ unpackMsg(const std::vector<std::uint8_t> &data)
 }
 
 Daemon::Daemon(node::Node &node, node::EtherNet &ether)
-    : node_(node), ether_(ether), registry_(node.config().pageBytes)
+    : node_(node), ether_(ether), registry_(node.config().pageBytes),
+      stats_("node" + std::to_string(node.id()) + ".daemon"),
+      track_(trace::track(stats_.name()))
 {
 }
 
@@ -116,6 +118,8 @@ sim::Task<Status>
 Daemon::registerExport(ExportRecord rec)
 {
     const MachineConfig &cfg = node_.config();
+    trace::ScopedSpan span(node_.sim(), track_, "registerExport");
+    stats_.counter("exportsRegistered") += 1;
     co_await node_.cpu().use(cfg.libCallCost);
     if (rec.paddr % cfg.pageBytes != 0 || rec.len % cfg.pageBytes != 0 ||
         rec.len == 0) {
@@ -140,6 +144,8 @@ sim::Task<Status>
 Daemon::unexport(std::uint32_t key, int pid)
 {
     const MachineConfig &cfg = node_.config();
+    trace::ScopedSpan span(node_.sim(), track_, "unexport");
+    stats_.counter("unexports") += 1;
     co_await node_.cpu().use(cfg.libCallCost);
     ExportRecord *rec = registry_.find(key);
     if (!rec || rec->pid != pid)
@@ -174,6 +180,8 @@ Daemon::importRemote(NodeId remote, std::uint32_t key, int pid,
                      Endpoint *owner)
 {
     const MachineConfig &cfg = node_.config();
+    trace::ScopedSpan span(node_.sim(), track_, "importRemote");
+    stats_.counter("importsRequested") += 1;
     co_await node_.cpu().use(cfg.libCallCost);
     DaemonMsg m;
     m.kind = DaemonMsg::Kind::ImportReq;
@@ -199,6 +207,8 @@ Daemon::unimport(NodeId remote, std::uint32_t key, std::uint32_t slot,
                  int pid)
 {
     const MachineConfig &cfg = node_.config();
+    trace::ScopedSpan span(node_.sim(), track_, "unimport");
+    stats_.counter("unimports") += 1;
     co_await node_.cpu().use(cfg.libCallCost);
     auto it = imports_.find({remote, key});
     if (it == imports_.end())
@@ -336,6 +346,10 @@ sim::Task<>
 Daemon::freezeService(net::Packet pkt, PageNum page)
 {
     ++freezesHandled_;
+    stats_.counter("freezesHandled") += 1;
+    trace::ScopedSpan span(node_.sim(), track_, "freezeService");
+    SHRIMP_DEBUG("node%u daemon: servicing freeze for page %u",
+                 unsigned(id()), unsigned(page));
     co_await node_.cpu().use(node_.config().interruptHandlerCost);
     nic::FreezeAction action;
     if (freezePolicy_) {

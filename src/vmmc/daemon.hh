@@ -19,6 +19,8 @@
 #include <map>
 #include <vector>
 
+#include "base/stats.hh"
+#include "base/trace.hh"
 #include "node/ether.hh"
 #include "node/node.hh"
 #include "vmmc/buffer_registry.hh"
@@ -134,6 +136,9 @@ class Daemon
     std::uint32_t nextReq_ = 1;
     std::uint64_t freezesHandled_ = 0;
     bool started_ = false;
+
+    stats::Group stats_;
+    trace::TrackId track_;
 };
 
 /** Serialize/deserialize daemon messages for the Ethernet. */

@@ -8,7 +8,10 @@ namespace shrimp::vmmc
 {
 
 Endpoint::Endpoint(node::Process &proc, Daemon &daemon)
-    : proc_(proc), daemon_(daemon), notif_(proc)
+    : proc_(proc), daemon_(daemon), notif_(proc),
+      stats_("node" + std::to_string(proc.nodeId()) + ".p" +
+             std::to_string(proc.pid()) + ".vmmc"),
+      track_(trace::track(stats_.name()))
 {
     if (&daemon.node() != &proc.node())
         fatal("endpoint and daemon must live on the same node");
@@ -21,6 +24,8 @@ Endpoint::exportBuffer(std::uint32_t key, VAddr addr, std::size_t len,
                        Perm perm, NotifyHandler handler)
 {
     const MachineConfig &cfg = proc_.config();
+    trace::ScopedSpan span(proc_.sim(), track_, "export");
+    stats_.counter("exports") += 1;
     co_await proc_.compute(cfg.libCallCost);
     if (len == 0)
         co_return Status::BadRange;
@@ -67,6 +72,8 @@ Endpoint::allocExport(std::uint32_t key, std::size_t len, Perm perm,
 sim::Task<ImportResult>
 Endpoint::import(NodeId remote, std::uint32_t key)
 {
+    trace::ScopedSpan span(proc_.sim(), track_, "import");
+    stats_.counter("imports") += 1;
     co_await proc_.compute(proc_.config().libCallCost);
     Daemon::ImportOutcome out =
         co_await daemon_.importRemote(remote, key, pid(), this);
@@ -133,6 +140,7 @@ Endpoint::send(int handle, std::size_t dst_off, VAddr src, std::size_t len,
                bool notify)
 {
     const MachineConfig &cfg = proc_.config();
+    trace::ScopedSpan span(proc_.sim(), track_, "send");
     const ImportRec *rec = lookupImport(handle);
     if (!rec)
         co_return Status::BadHandle;
@@ -148,6 +156,9 @@ Endpoint::send(int handle, std::size_t dst_off, VAddr src, std::size_t len,
     if (dst_off + wire_len > rec->len)
         co_return Status::BadRange;
 
+    stats_.counter("sends") += 1;
+    stats_.counter("sentBytes") += len;
+    stats_.distribution("sendBytes").sample(double(len));
     // The two-access transfer-initiation sequence: programmed I/O to
     // addresses decoded by the network interface on the EISA bus.
     co_await proc_.compute(2 * cfg.eisaPioCost);
@@ -161,6 +172,7 @@ Endpoint::bindAu(VAddr local, std::size_t len, int handle,
                  std::size_t dst_off, AuOptions opts)
 {
     const MachineConfig &cfg = proc_.config();
+    trace::ScopedSpan span(proc_.sim(), track_, "bindAu");
     co_await proc_.compute(cfg.libCallCost);
     const ImportRec *rec = lookupImport(handle);
     if (!rec)
@@ -197,6 +209,7 @@ Endpoint::bindAu(VAddr local, std::size_t len, int handle,
     // The snoop logic must observe every store to the bound pages.
     proc_.as().setCacheMode(local, len, CacheMode::WriteThrough);
     bindings_.push_back(AuBinding{local, len, handle});
+    stats_.counter("auBindings") += 1;
     co_return Status::Ok;
 }
 
@@ -267,6 +280,8 @@ void
 Endpoint::deliverNotification(const Notification &n,
                               const NotifyHandler &handler)
 {
+    stats_.counter("notifications") += 1;
+    trace::instant(track_, "notification", proc_.sim().now());
     notif_.deliver(*this, n, handler);
 }
 

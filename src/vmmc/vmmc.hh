@@ -24,6 +24,8 @@
 #include <memory>
 #include <vector>
 
+#include "base/stats.hh"
+#include "base/trace.hh"
 #include "node/machine.hh"
 #include "node/process.hh"
 #include "vmmc/daemon.hh"
@@ -112,6 +114,8 @@ class Endpoint
 
     std::size_t pendingNotifications() const { return notif_.pending(); }
 
+    stats::Group &stats() { return stats_; }
+
     /** Toggle hardware interrupt bits for one of our exports (the
      *  polling-vs-blocking switch of paper section 6). */
     Status setInterruptsEnabled(std::uint32_t key, bool enabled);
@@ -150,6 +154,8 @@ class Endpoint
     std::vector<ImportRec> imports_;
     std::vector<AuBinding> bindings_;
     NotificationQueue notif_;
+    stats::Group stats_;
+    trace::TrackId track_;
 };
 
 /**

@@ -1,0 +1,592 @@
+/**
+ * @file
+ * Unit tests for the observability layer: the tick-accurate tracer
+ * (span nesting, Chrome trace JSON shape, byte-identical determinism
+ * across runs of a real simulated workload), the CLI/env plumbing, the
+ * Distribution log2 histogram, and a full StatRegistry JSON round trip
+ * through a minimal JSON parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "base/config.hh"
+#include "base/logging.hh"
+#include "base/stats.hh"
+#include "base/trace.hh"
+#include "vmmc/vmmc.hh"
+
+namespace shrimp
+{
+namespace
+{
+
+// ---- minimal JSON parser (tests only) ----------------------------------
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Num,
+        Str,
+        Arr,
+        Obj,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::map<std::string, JsonValue> obj;
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        auto it = obj.find(key);
+        if (it == obj.end())
+            throw std::runtime_error("missing key " + key);
+        return it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        ws();
+        if (pos_ != s_.size())
+            throw std::runtime_error("trailing JSON garbage");
+        return v;
+    }
+
+  private:
+    void
+    ws()
+    {
+        while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                    s_[pos_] == '\n' || s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= s_.size())
+            throw std::runtime_error("unexpected end of JSON");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            throw std::runtime_error(std::string("expected ") + c);
+        ++pos_;
+    }
+
+    JsonValue
+    value()
+    {
+        ws();
+        char c = peek();
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"') {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Str;
+            v.str = string();
+            return v;
+        }
+        if (c == 't' || c == 'f')
+            return boolean();
+        if (c == 'n') {
+            literal("null");
+            return {};
+        }
+        return number();
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (; *word; ++word)
+            expect(*word);
+    }
+
+    JsonValue
+    boolean()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (peek() == 't') {
+            literal("true");
+            v.boolean = true;
+        } else {
+            literal("false");
+        }
+        return v;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (peek() != '"') {
+            char c = s_[pos_++];
+            if (c == '\\') {
+                char e = s_[pos_++];
+                switch (e) {
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  default:
+                    out += e; // covers \" \\ \/
+                }
+            } else {
+                out += c;
+            }
+        }
+        ++pos_;
+        return out;
+    }
+
+    JsonValue
+    number()
+    {
+        std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            throw std::runtime_error("bad JSON number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Num;
+        v.num = std::stod(s_.substr(start, pos_ - start));
+        return v;
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Arr;
+        ws();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.arr.push_back(value());
+            ws();
+            if (peek() == ']') {
+                ++pos_;
+                return v;
+            }
+            expect(',');
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Obj;
+        ws();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            ws();
+            std::string key = string();
+            ws();
+            expect(':');
+            v.obj[key] = value();
+            ws();
+            if (peek() == '}') {
+                ++pos_;
+                return v;
+            }
+            expect(',');
+        }
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+// ---- tracer ------------------------------------------------------------
+
+struct FakeClock
+{
+    Tick t = 0;
+    Tick now() const { return t; }
+};
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        trace::Tracer::instance().setEnabled(true);
+        trace::Tracer::instance().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        trace::Tracer::instance().setEnabled(false);
+        trace::Tracer::instance().clear();
+    }
+};
+
+TEST_F(TraceTest, SpanNestingAtIdenticalTicks)
+{
+    auto &tr = trace::Tracer::instance();
+    trace::TrackId t = trace::track("trace_test.nest");
+    FakeClock clock{500};
+    {
+        trace::ScopedSpan outer(clock, t, "outer");
+        {
+            trace::ScopedSpan inner(clock, t, "inner");
+        }
+    }
+
+    // Recording order disambiguates events sharing a tick, so the
+    // nesting stays well formed: B(outer) B(inner) E(inner) E(outer).
+    const auto &ev = tr.events();
+    ASSERT_EQ(ev.size(), 4u);
+    using Phase = trace::Tracer::Phase;
+    EXPECT_EQ(ev[0].phase, Phase::Begin);
+    EXPECT_STREQ(ev[0].name, "outer");
+    EXPECT_EQ(ev[1].phase, Phase::Begin);
+    EXPECT_STREQ(ev[1].name, "inner");
+    EXPECT_EQ(ev[2].phase, Phase::End);
+    EXPECT_STREQ(ev[2].name, "inner");
+    EXPECT_EQ(ev[3].phase, Phase::End);
+    EXPECT_STREQ(ev[3].name, "outer");
+    for (const auto &e : ev) {
+        EXPECT_EQ(e.tick, 500u);
+        EXPECT_EQ(e.track, t);
+    }
+}
+
+TEST_F(TraceTest, SpanBracketsClockAdvance)
+{
+    FakeClock clock{1000};
+    trace::TrackId t = trace::track("trace_test.adv");
+    {
+        trace::ScopedSpan span(clock, t, "work");
+        clock.t = 2500;
+    }
+    const auto &ev = trace::Tracer::instance().events();
+    ASSERT_EQ(ev.size(), 2u);
+    EXPECT_EQ(ev[0].tick, 1000u);
+    EXPECT_EQ(ev[1].tick, 2500u);
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing)
+{
+    trace::Tracer::instance().setEnabled(false);
+    trace::TrackId t = trace::track("trace_test.off");
+    FakeClock clock{10};
+    {
+        trace::ScopedSpan span(clock, t, "work");
+        trace::instant(t, "tick", 10);
+    }
+    EXPECT_TRUE(trace::Tracer::instance().events().empty());
+}
+
+TEST_F(TraceTest, TrackNamesDeduplicated)
+{
+    trace::TrackId a = trace::track("trace_test.dedup");
+    trace::TrackId b = trace::track("trace_test.dedup");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(trace::Tracer::instance().trackName(a), "trace_test.dedup");
+}
+
+TEST_F(TraceTest, JsonShapeAndTimestampFormatting)
+{
+    trace::TrackId t = trace::track("trace_test.json");
+    trace::track("trace_test.never_used");
+    trace::instant(t, "ping", 1500); // 1.5 us
+    trace::Tracer::instance().begin(t, "sp", 2000);
+    trace::Tracer::instance().end(t, "sp", 1002003);
+
+    std::ostringstream os;
+    trace::Tracer::instance().writeJson(os);
+    std::string json = os.str();
+
+    // Valid JSON with the Chrome trace-event top-level shape.
+    JsonValue root = parseJson(json);
+    EXPECT_EQ(root.at("displayTimeUnit").str, "ns");
+    const auto &events = root.at("traceEvents").arr;
+    ASSERT_GE(events.size(), 4u); // process_name + thread_name + 3
+
+    // Instants carry a scope; ticks format as microseconds with
+    // exactly three decimal places (integer math, no locale).
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":1002.003"), std::string::npos);
+
+    // Only tracks that recorded events get thread_name metadata.
+    EXPECT_NE(json.find("trace_test.json"), std::string::npos);
+    EXPECT_EQ(json.find("trace_test.never_used"), std::string::npos);
+}
+
+/** A small but real two-node VMMC workload: export, import (over the
+ *  Ethernet daemons), deliberate-update send, poll for delivery. */
+std::string
+workloadTraceJson()
+{
+    trace::Tracer::instance().clear();
+    vmmc::System sys;
+    auto &a = sys.createEndpoint(0);
+    auto &b = sys.createEndpoint(1);
+    sys.sim().spawn([](vmmc::Endpoint &a, vmmc::Endpoint &b) -> sim::Task<> {
+        node::Process &pb = b.proc();
+        VAddr recv = pb.alloc(8192, CacheMode::WriteThrough);
+        vmmc::Status st = co_await b.exportBuffer(7, recv, 8192);
+        SHRIMP_ASSERT(st == vmmc::Status::Ok, "export");
+        auto r = co_await a.import(b.nodeId(), 7);
+        SHRIMP_ASSERT(r.status == vmmc::Status::Ok, "import");
+        node::Process &pa = a.proc();
+        VAddr user = pa.alloc(4096);
+        pa.poke32(user, 0xabcd);
+        co_await a.send(r.handle, 0, user, 256);
+        co_await pb.waitWord32Eq(recv, 0xabcd);
+    }(a, b));
+    sys.sim().runAll();
+
+    std::ostringstream os;
+    trace::Tracer::instance().writeJson(os);
+    return os.str();
+}
+
+TEST_F(TraceTest, RealWorkloadJsonIsByteIdenticalAcrossRuns)
+{
+    std::string first = workloadTraceJson();
+    std::string second = workloadTraceJson();
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+
+    // The datapath shows up as distinct tracks (library, NIC in/out,
+    // routers, bus...), not one undifferentiated row.
+    JsonValue root = parseJson(first);
+    std::size_t tracks = 0, spans = 0;
+    for (const auto &e : root.at("traceEvents").arr) {
+        const std::string &ph = e.at("ph").str;
+        if (ph == "M" && e.at("name").str == "thread_name")
+            ++tracks;
+        if (ph == "B")
+            ++spans;
+    }
+    EXPECT_GE(tracks, 5u);
+    EXPECT_GT(spans, 0u);
+}
+
+TEST(TraceFlags, ParseCliFlagsStripsObservabilityFlags)
+{
+    char p[] = "prog";
+    char f1[] = "--trace=/tmp/shrimp_test_trace.json";
+    char f2[] = "--stats";
+    char f3[] = "--benchmark_filter=all";
+    char *argv[] = {p, f1, f2, f3, nullptr};
+    int argc = 4;
+
+    trace::parseCliFlags(argc, argv);
+
+    EXPECT_EQ(argc, 2);
+    EXPECT_STREQ(argv[0], "prog");
+    EXPECT_STREQ(argv[1], "--benchmark_filter=all");
+    EXPECT_EQ(argv[2], nullptr);
+    EXPECT_EQ(trace::outputPath(), "/tmp/shrimp_test_trace.json");
+    EXPECT_TRUE(trace::statsDumpRequested());
+    EXPECT_TRUE(trace::Tracer::instance().enabled());
+
+    // Undo so this test leaves no at-exit dump armed.
+    trace::setOutputPath("");
+    trace::setStatsDumpRequested(false);
+    trace::Tracer::instance().setEnabled(false);
+    trace::Tracer::instance().clear();
+}
+
+TEST(TraceFlags, EnvOverrideLogLevel)
+{
+    int saved = logging::verbosity;
+    ::setenv("SHRIMP_LOG_LEVEL", "3", 1);
+    applyEnvOverrides();
+    EXPECT_EQ(logging::verbosity, 3);
+
+    // Bad values are ignored, keeping the previous level.
+    ::setenv("SHRIMP_LOG_LEVEL", "junk", 1);
+    applyEnvOverrides();
+    EXPECT_EQ(logging::verbosity, 3);
+    ::setenv("SHRIMP_LOG_LEVEL", "9", 1);
+    applyEnvOverrides();
+    EXPECT_EQ(logging::verbosity, 3);
+
+    ::unsetenv("SHRIMP_LOG_LEVEL");
+    logging::verbosity = saved;
+}
+
+TEST(TraceFlags, EnvOverrideStatsDump)
+{
+    bool saved = trace::statsDumpRequested();
+    ::setenv("SHRIMP_STATS", "1", 1);
+    applyEnvOverrides();
+    EXPECT_TRUE(trace::statsDumpRequested());
+    ::unsetenv("SHRIMP_STATS");
+    trace::setStatsDumpRequested(saved);
+}
+
+// ---- stats histogram ---------------------------------------------------
+
+TEST(StatsHistogram, BucketMapping)
+{
+    using D = stats::Distribution;
+    EXPECT_EQ(D::bucketOf(0.0), 0u);
+    EXPECT_EQ(D::bucketOf(0.99), 0u);
+    EXPECT_EQ(D::bucketOf(1.0), 1u);
+    EXPECT_EQ(D::bucketOf(1.99), 1u);
+    EXPECT_EQ(D::bucketOf(2.0), 2u);
+    EXPECT_EQ(D::bucketOf(3.0), 2u);
+    EXPECT_EQ(D::bucketOf(4.0), 3u);
+    EXPECT_EQ(D::bucketOf(1024.0), 11u);
+    // Out-of-range values clamp into the last bucket.
+    EXPECT_EQ(D::bucketOf(1e300), D::numBuckets - 1);
+
+    EXPECT_DOUBLE_EQ(D::bucketLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(D::bucketLo(1), 1.0);
+    EXPECT_DOUBLE_EQ(D::bucketLo(2), 2.0);
+    EXPECT_DOUBLE_EQ(D::bucketLo(11), 1024.0);
+}
+
+TEST(StatsHistogram, SampleCountsAndDump)
+{
+    stats::Distribution d;
+    d.sample(0.5);
+    d.sample(3.0);
+    d.sample(3.5);
+    d.sample(1024.0);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_EQ(d.bucketCount(0), 1u);
+    EXPECT_EQ(d.bucketCount(2), 2u);
+    EXPECT_EQ(d.bucketCount(11), 1u);
+    EXPECT_EQ(d.bucketCount(5), 0u);
+
+    std::ostringstream os;
+    d.dump(os, "p.lat");
+    std::string text = os.str();
+    EXPECT_NE(text.find("p.lat count=4"), std::string::npos);
+    EXPECT_NE(text.find("p.lat.bucket[2,4) 2"), std::string::npos);
+    EXPECT_NE(text.find("p.lat.bucket[1024,2048) 1"), std::string::npos);
+    // Empty buckets are not printed.
+    EXPECT_EQ(text.find("bucket[32,64)"), std::string::npos);
+}
+
+TEST(StatsHistogram, MergeAddsBucketsAndMoments)
+{
+    stats::Distribution a, b;
+    a.sample(2.0);
+    a.sample(8.0);
+    b.sample(0.25);
+    b.sample(8.5);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.min(), 0.25);
+    EXPECT_DOUBLE_EQ(a.max(), 8.5);
+    EXPECT_EQ(a.bucketCount(0), 1u);
+    EXPECT_EQ(a.bucketCount(2), 1u);
+    EXPECT_EQ(a.bucketCount(4), 2u);
+}
+
+// ---- stats registry JSON round trip ------------------------------------
+
+TEST(StatsJson, RegistryDumpRoundTrip)
+{
+    auto &reg = stats::StatRegistry::global();
+    {
+        stats::Group g("trace_test.grp");
+        g.counter("foo") += 7;
+        auto &d = g.distribution("lat");
+        d.sample(1.0);
+        d.sample(2.0);
+        d.sample(1000.0);
+
+        std::ostringstream os;
+        reg.dumpJson(os);
+        JsonValue root = parseJson(os.str());
+
+        const JsonValue &grp = root.at("groups").at("trace_test.grp");
+        EXPECT_DOUBLE_EQ(grp.at("counters").at("foo").num, 7.0);
+        const JsonValue &lat = grp.at("distributions").at("lat");
+        EXPECT_DOUBLE_EQ(lat.at("count").num, 3.0);
+        EXPECT_DOUBLE_EQ(lat.at("sum").num, 1003.0);
+        EXPECT_DOUBLE_EQ(lat.at("min").num, 1.0);
+        EXPECT_DOUBLE_EQ(lat.at("max").num, 1000.0);
+        ASSERT_EQ(lat.at("buckets").arr.size(),
+                  stats::Distribution::numBuckets);
+        EXPECT_DOUBLE_EQ(lat.at("buckets").arr[1].num, 1.0);  // 1.0
+        EXPECT_DOUBLE_EQ(lat.at("buckets").arr[2].num, 1.0);  // 2.0
+        EXPECT_DOUBLE_EQ(lat.at("buckets").arr[10].num, 1.0); // 1000.0
+    }
+
+    // The group is gone; its values folded into the retired totals.
+    std::ostringstream os;
+    reg.dumpJson(os);
+    JsonValue root = parseJson(os.str());
+    EXPECT_EQ(root.at("groups").obj.count("trace_test.grp"), 0u);
+    const JsonValue &ret = root.at("retired").at("trace_test.grp");
+    EXPECT_DOUBLE_EQ(ret.at("counters").at("foo").num, 7.0);
+    EXPECT_DOUBLE_EQ(ret.at("distributions").at("lat").at("count").num,
+                     3.0);
+}
+
+TEST(StatsJson, LiveGroupQueryAndDumpAll)
+{
+    auto &reg = stats::StatRegistry::global();
+    stats::Group g("trace_test.live");
+    g.counter("hits") += 3;
+    EXPECT_EQ(reg.find("trace_test.live"), &g);
+    EXPECT_EQ(g.get("hits"), 3u);
+    EXPECT_EQ(g.get("absent"), 0u);
+
+    std::ostringstream os;
+    reg.dumpAll(os);
+    EXPECT_NE(os.str().find("trace_test.live.hits 3"), std::string::npos);
+}
+
+} // namespace
+} // namespace shrimp
