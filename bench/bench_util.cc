@@ -1,11 +1,38 @@
 #include "bench_util.hh"
 
 #include <cstdio>
+#include <cstring>
 
 #include "base/trace.hh"
 
 namespace shrimp::bench
 {
+
+namespace
+{
+bool gCheckDeterminism = false;
+} // namespace
+
+void
+parseBenchFlags(int &argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check-determinism") == 0)
+            gCheckDeterminism = true;
+        else
+            argv[out++] = argv[i];
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    trace::parseCliFlags(argc, argv);
+}
+
+bool
+checkDeterminismRequested()
+{
+    return gCheckDeterminism;
+}
 
 void
 printBanner(const std::string &figure, const std::string &title,
@@ -82,11 +109,67 @@ printTable(const std::string &header,
 }
 
 int
+runDeterminismCheck(const std::vector<Curve> &curves,
+                    const std::vector<std::size_t> &sizes,
+                    MeasureFn measure_seconds)
+{
+    auto &tracer = trace::Tracer::instance();
+    bool was_enabled = tracer.enabled();
+    tracer.setEnabled(true);
+
+    std::printf("determinism check: running each point twice and "
+                "comparing trace-stream hashes\n");
+    int points = 0, failures = 0;
+    for (const Curve &c : curves) {
+        for (std::size_t size : sizes) {
+            if (!c.points.count(size))
+                continue;
+            ++points;
+            tracer.clear();
+            double s1 = measure_seconds(c.name, size);
+            std::uint64_t h1 = tracer.hash();
+            std::size_t n1 = tracer.events().size();
+            tracer.clear();
+            double s2 = measure_seconds(c.name, size);
+            std::uint64_t h2 = tracer.hash();
+            std::size_t n2 = tracer.events().size();
+            if (h1 != h2 || s1 != s2) {
+                ++failures;
+                std::printf("  %s/%zu: DIVERGED (hash %016llx vs "
+                            "%016llx, %zu vs %zu events, %.9f vs %.9f "
+                            "simulated seconds)\n",
+                            c.name.c_str(), size,
+                            (unsigned long long)h1,
+                            (unsigned long long)h2, n1, n2, s1, s2);
+            } else {
+                std::printf("  %s/%zu: ok (hash %016llx, %zu events)\n",
+                            c.name.c_str(), size,
+                            (unsigned long long)h1, n1);
+            }
+        }
+    }
+    tracer.clear();
+    tracer.setEnabled(was_enabled);
+
+    if (failures > 0) {
+        std::printf("determinism check FAILED: %d of %d point(s) "
+                    "diverged between runs\n", failures, points);
+        return 1;
+    }
+    std::printf("determinism check passed: %d point(s), 2 runs each\n",
+                points);
+    return 0;
+}
+
+int
 runGoogleBenchmarks(int argc, char **argv,
                     const std::vector<Curve> &curves,
                     const std::vector<std::size_t> &sizes,
                     MeasureFn measure_seconds)
 {
+    if (gCheckDeterminism)
+        return runDeterminismCheck(curves, sizes,
+                                   std::move(measure_seconds));
     for (const Curve &c : curves) {
         for (std::size_t size : sizes) {
             if (!c.points.count(size))

@@ -60,12 +60,44 @@ void printTable(const std::string &header,
                 const std::vector<std::vector<double>> &values);
 
 /**
- * Register one google-benchmark entry per (curve, size) that replays a
- * measurement function and reports the simulated time via manual
- * timing, then run the benchmark library.
+ * Parse the bench-wide command-line flags, stripping recognized ones
+ * from argv:
+ *
+ *   --check-determinism   instead of google-benchmark, run each
+ *                         registered measurement twice with tracing
+ *                         captured, hash the trace streams (see
+ *                         trace::Tracer::hash), and fail the process
+ *                         if any pair diverges
+ *
+ * plus everything trace::parseCliFlags handles (--trace=, --stats).
+ * Every bench main calls this before doing any work.
  */
+void parseBenchFlags(int &argc, char **argv);
+
+/** Whether --check-determinism was requested. */
+bool checkDeterminismRequested();
+
 using MeasureFn = std::function<double(const std::string &curve,
                                        std::size_t size)>;
+
+/**
+ * Determinism verifier: run every (curve, size) measurement twice with
+ * the tracer capturing, and compare the simulated duration and the
+ * trace-stream hash between runs. Any divergence means the simulation
+ * depends on something outside the event queue's deterministic order
+ * (wall clock, rand(), unordered iteration, ...).
+ * @return process exit code (0 = deterministic).
+ */
+int runDeterminismCheck(const std::vector<Curve> &curves,
+                        const std::vector<std::size_t> &sizes,
+                        MeasureFn measure_seconds);
+
+/**
+ * Register one google-benchmark entry per (curve, size) that replays a
+ * measurement function and reports the simulated time via manual
+ * timing, then run the benchmark library. Under --check-determinism,
+ * runs the determinism verifier over the same entries instead.
+ */
 int runGoogleBenchmarks(int argc, char **argv,
                         const std::vector<Curve> &curves,
                         const std::vector<std::size_t> &sizes,

@@ -157,7 +157,7 @@ int
 main(int argc, char **argv)
 {
     using namespace shrimp::bench;
-    shrimp::trace::parseCliFlags(argc, argv);
+    shrimp::bench::parseBenchFlags(argc, argv);
 
     printBanner("Figure 3",
                 "Latency and bandwidth delivered by the SHRIMP VMMC "

@@ -111,7 +111,7 @@ int
 main(int argc, char **argv)
 {
     using namespace shrimp::bench;
-    shrimp::trace::parseCliFlags(argc, argv);
+    shrimp::bench::parseBenchFlags(argc, argv);
 
     printBanner("Figure 4",
                 "NX latency and bandwidth (2-process ping-pong)",

@@ -93,7 +93,7 @@ int
 main(int argc, char **argv)
 {
     using namespace shrimp::bench;
-    shrimp::trace::parseCliFlags(argc, argv);
+    shrimp::bench::parseBenchFlags(argc, argv);
 
     printBanner("Figure 7",
                 "Socket latency and bandwidth (stream ping-pong)",

@@ -124,7 +124,7 @@ int
 main(int argc, char **argv)
 {
     using namespace shrimp::bench;
-    shrimp::trace::parseCliFlags(argc, argv);
+    shrimp::bench::parseBenchFlags(argc, argv);
 
     printBanner("Figure 8",
                 "Null RPC round trip, single INOUT argument: "

@@ -76,7 +76,7 @@ int
 main(int argc, char **argv)
 {
     using namespace shrimp::bench;
-    shrimp::trace::parseCliFlags(argc, argv);
+    shrimp::bench::parseBenchFlags(argc, argv);
 
     printBanner("ttcp (section 4.3)",
                 "one-way socket pump, ttcp v1.12 style",

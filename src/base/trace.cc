@@ -41,6 +41,28 @@ Tracer::track(const std::string &name)
     return TrackId(tracks_.size() - 1);
 }
 
+std::uint64_t
+Tracer::hash() const
+{
+    // FNV-1a, 64-bit.
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](const void *data, std::size_t n) {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ull;
+        }
+    };
+    for (const Event &e : events_) {
+        mix(&e.tick, sizeof(e.tick));
+        const std::string &track = tracks_.at(e.track);
+        mix(track.data(), track.size() + 1);
+        mix(e.name, std::strlen(e.name) + 1);
+        mix(&e.phase, sizeof(e.phase));
+    }
+    return h;
+}
+
 namespace
 {
 

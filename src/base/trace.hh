@@ -101,6 +101,15 @@ class Tracer
     const std::string &trackName(TrackId t) const { return tracks_.at(t); }
     std::size_t numTracks() const { return tracks_.size(); }
 
+    /**
+     * FNV-1a fingerprint of the recorded event stream: tick, track
+     * *name* (ids may differ across runs with different registration
+     * order), event name and phase of every event, in recording order.
+     * Two runs of a deterministic simulation produce equal hashes; the
+     * determinism verifier (bench --check-determinism) compares them.
+     */
+    std::uint64_t hash() const;
+
     /** Drop all recorded events (registered tracks are kept). */
     void clear() { events_.clear(); }
 

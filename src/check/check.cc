@@ -1,0 +1,351 @@
+#include "check/check.hh"
+
+#include <cstdio>
+#include <cstring>
+
+namespace shrimp::check
+{
+
+namespace detail
+{
+bool gEnabled = true;
+} // namespace detail
+
+void
+setEnabled(bool enabled)
+{
+    detail::gEnabled = enabled;
+}
+
+SimChecker &
+SimChecker::instance()
+{
+    static SimChecker checker;
+    return checker;
+}
+
+void
+SimChecker::setAbortOnViolation(bool abort_on_violation)
+{
+    abortOnViolation_ = abort_on_violation;
+}
+
+void
+SimChecker::reset()
+{
+    numChecks_ = 0;
+    violations_.clear();
+    queues_.clear();
+    tasks_.clear();
+    nextTaskId_ = 1;
+    scheduledResumes_.clear();
+    buses_.clear();
+    shadows_.clear();
+    lastDeliverySeq_.clear();
+}
+
+void
+SimChecker::violation(const std::string &msg)
+{
+    violations_.push_back(msg);
+    std::fprintf(stderr, "simcheck: %s\n", msg.c_str());
+    if (abortOnViolation_)
+        throw CheckError("simcheck: " + msg);
+}
+
+// ---- event queue ---------------------------------------------------------
+
+void
+SimChecker::onQueueCreated(const void *queue)
+{
+    queues_[queue] = QueueState{};
+}
+
+void
+SimChecker::onQueueDestroyed(const void *queue)
+{
+    queues_.erase(queue);
+}
+
+void
+SimChecker::onEventRun(const void *queue, Tick when, std::uint64_t seq,
+                       Tick now)
+{
+    numChecks_ += 1;
+    QueueState &st = queues_[queue];
+    if (when < now) {
+        violation(logging::format(
+            "event queue time went backwards: event at %llu ns popped "
+            "while now is %llu ns",
+            (unsigned long long)when, (unsigned long long)now));
+        return;
+    }
+    if (st.any && when == st.lastWhen && seq <= st.lastSeq) {
+        violation(logging::format(
+            "same-tick events ran out of schedule order at %llu ns: "
+            "seq %llu after seq %llu (determinism broken)",
+            (unsigned long long)when, (unsigned long long)seq,
+            (unsigned long long)st.lastSeq));
+        return;
+    }
+    st.any = true;
+    st.lastWhen = when;
+    st.lastSeq = seq;
+}
+
+// ---- spawned tasks -------------------------------------------------------
+
+std::uint64_t
+SimChecker::onTaskSpawn(const void *sim, const std::string &name, Tick now)
+{
+    std::uint64_t id = nextTaskId_++;
+    tasks_[id] = TaskRec{sim, name, now};
+    return id;
+}
+
+void
+SimChecker::onTaskExit(std::uint64_t id)
+{
+    tasks_.erase(id);
+}
+
+std::string
+SimChecker::describeActiveTasks(const void *sim) const
+{
+    std::string out;
+    std::size_t n = 0;
+    for (const auto &[id, rec] : tasks_) {
+        if (rec.sim != sim)
+            continue;
+        if (n++ > 0)
+            out += ", ";
+        out += logging::format("'%s' (spawned at %llu ns)",
+                               rec.name.c_str(),
+                               (unsigned long long)rec.spawned);
+    }
+    if (n == 0)
+        return "no tasks registered with the checker";
+    return logging::format("%zu suspended task(s): ", n) + out;
+}
+
+void
+SimChecker::onSimulatorDestroyed(const void *sim)
+{
+    for (auto it = tasks_.begin(); it != tasks_.end();) {
+        if (it->second.sim == sim)
+            it = tasks_.erase(it);
+        else
+            ++it;
+    }
+}
+
+// ---- resume scheduling ---------------------------------------------------
+
+void
+SimChecker::onResumeScheduled(const void *frame)
+{
+    numChecks_ += 1;
+    if (!scheduledResumes_.insert(frame).second) {
+        violation("coroutine scheduled for resume while a resume is "
+                  "already pending (double resume would corrupt the "
+                  "frame)");
+    }
+}
+
+void
+SimChecker::onResumeFired(const void *frame)
+{
+    scheduledResumes_.erase(frame);
+}
+
+// ---- bus -----------------------------------------------------------------
+
+void
+SimChecker::onBusCreated(const void *bus)
+{
+    buses_[bus] = BusState{};
+}
+
+void
+SimChecker::onBusTransferStart(const void *bus, std::uint64_t bytes)
+{
+    numChecks_ += 1;
+    BusState &st = buses_[bus];
+    if (st.active) {
+        violation(logging::format(
+            "bus granted to a second transfer (%llu bytes) while one "
+            "(%llu bytes) is still in progress",
+            (unsigned long long)bytes,
+            (unsigned long long)st.grantedBytes));
+        return;
+    }
+    st.active = true;
+    st.grantedBytes = bytes;
+    st.totalRequested += bytes;
+}
+
+void
+SimChecker::onBusTransferEnd(const void *bus, std::uint64_t bytes)
+{
+    numChecks_ += 1;
+    BusState &st = buses_[bus];
+    if (!st.active) {
+        violation("bus transfer completed that was never granted");
+        return;
+    }
+    st.active = false;
+    st.totalGranted += bytes;
+    if (bytes != st.grantedBytes) {
+        violation(logging::format(
+            "bus conservation broken: transfer granted %llu bytes but "
+            "moved %llu",
+            (unsigned long long)st.grantedBytes,
+            (unsigned long long)bytes));
+        return;
+    }
+    if (st.totalGranted != st.totalRequested) {
+        violation(logging::format(
+            "bus conservation broken: %llu bytes requested vs %llu "
+            "granted in total",
+            (unsigned long long)st.totalRequested,
+            (unsigned long long)st.totalGranted));
+    }
+}
+
+// ---- packetizer shadow ---------------------------------------------------
+
+void
+SimChecker::onPacketizerCreated(const void *packetizer)
+{
+    shadows_[packetizer] = Shadow{};
+}
+
+void
+SimChecker::onShadowStart(const void *packetizer, NodeId dst, PAddr addr,
+                          const void *data, std::size_t len)
+{
+    numChecks_ += 1;
+    Shadow &sh = shadows_[packetizer];
+    if (sh.active) {
+        violation("packetizer started a new pending packet while the "
+                  "shadow still holds an unflushed one");
+    }
+    sh.active = true;
+    sh.dst = dst;
+    sh.base = addr;
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    sh.bytes.assign(bytes, bytes + len);
+}
+
+void
+SimChecker::onShadowAppend(const void *packetizer, NodeId dst, PAddr addr,
+                           const void *data, std::size_t len)
+{
+    numChecks_ += 1;
+    Shadow &sh = shadows_[packetizer];
+    if (!sh.active) {
+        violation("write combined into a packet the shadow never saw "
+                  "start");
+        return;
+    }
+    if (dst != sh.dst) {
+        violation(logging::format(
+            "combining merged writes for different destination nodes "
+            "(%u vs %u)", unsigned(sh.dst), unsigned(dst)));
+        return;
+    }
+    PAddr expect = sh.base + PAddr(sh.bytes.size());
+    if (addr != expect) {
+        violation(logging::format(
+            "combining merged a non-consecutive write: expected dest "
+            "0x%x, got 0x%x", unsigned(expect), unsigned(addr)));
+        return;
+    }
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    sh.bytes.insert(sh.bytes.end(), bytes, bytes + len);
+}
+
+void
+SimChecker::onShadowFlush(const void *packetizer, const net::Packet &pkt)
+{
+    numChecks_ += 1;
+    auto it = shadows_.find(packetizer);
+    if (it == shadows_.end() || !it->second.active)
+        return; // checking enabled mid-run; nothing recorded to compare
+    Shadow &sh = it->second;
+    if (pkt.dst != sh.dst || pkt.destAddr != sh.base) {
+        violation(logging::format(
+            "combined packet header diverged from uncombined shadow: "
+            "dst %u@0x%x vs shadow %u@0x%x",
+            unsigned(pkt.dst), unsigned(pkt.destAddr), unsigned(sh.dst),
+            unsigned(sh.base)));
+    } else if (pkt.payload.size() != sh.bytes.size() ||
+               (!sh.bytes.empty() &&
+                std::memcmp(pkt.payload.data(), sh.bytes.data(),
+                            sh.bytes.size()) != 0)) {
+        violation(logging::format(
+            "combined packet payload (%zu bytes) is not byte-identical "
+            "to the uncombined shadow stream (%zu bytes)",
+            pkt.payload.size(), sh.bytes.size()));
+    }
+    sh.active = false;
+    sh.bytes.clear();
+}
+
+// ---- NIC -----------------------------------------------------------------
+
+void
+SimChecker::onOptUse(NodeId node, bool valid, NodeId dest_node,
+                     std::size_t off, std::size_t len, std::size_t window)
+{
+    numChecks_ += 1;
+    if (!valid) {
+        violation(logging::format("node %u used an invalid OPT entry",
+                                  unsigned(node)));
+        return;
+    }
+    if (dest_node == invalidNode) {
+        violation(logging::format(
+            "node %u OPT entry has no destination node", unsigned(node)));
+        return;
+    }
+    if (off + len > window) {
+        violation(logging::format(
+            "node %u OPT access [%zu, %zu) exceeds the mapped window of "
+            "%zu bytes", unsigned(node), off, off + len, window));
+    }
+}
+
+void
+SimChecker::onIncomingEngineCreated(const void *engine)
+{
+    lastDeliverySeq_[engine].clear();
+}
+
+void
+SimChecker::onDelivery(const void *engine, NodeId src, std::uint64_t seq,
+                       bool ipt_enabled)
+{
+    numChecks_ += 1;
+    if (!ipt_enabled) {
+        violation(logging::format(
+            "packet from node %u delivered into a page the IPT has "
+            "disabled (stale IPT entry bypassed the freeze protocol)",
+            unsigned(src)));
+        return;
+    }
+    if (seq == 0)
+        return; // unsequenced raw packet (tests inject these directly)
+    auto &last = lastDeliverySeq_[engine];
+    auto it = last.find(src);
+    if (it != last.end() && seq <= it->second) {
+        violation(logging::format(
+            "out-of-order delivery from node %u: packet seq %llu after "
+            "seq %llu", unsigned(src), (unsigned long long)seq,
+            (unsigned long long)it->second));
+        return;
+    }
+    last[src] = seq;
+}
+
+} // namespace shrimp::check

@@ -29,7 +29,8 @@ void
 Memory::write(PAddr addr, const void *src, std::size_t n)
 {
     checkRange(addr, n);
-    std::memcpy(data_.data() + addr, src, n);
+    if (n > 0)
+        std::memcpy(data_.data() + addr, src, n);
     ++writeCount_;
     writeCond_.notifyAll();
 }
@@ -38,7 +39,8 @@ void
 Memory::read(PAddr addr, void *dst, std::size_t n) const
 {
     checkRange(addr, n);
-    std::memcpy(dst, data_.data() + addr, n);
+    if (n > 0)
+        std::memcpy(dst, data_.data() + addr, n);
 }
 
 std::uint32_t

@@ -1,6 +1,7 @@
 #include "nic/incoming_dma_engine.hh"
 
 #include "base/logging.hh"
+#include "check/check.hh"
 
 namespace shrimp::nic
 {
@@ -21,6 +22,8 @@ IncomingDmaEngine::IncomingDmaEngine(sim::Simulator &sim,
       statBytesDelivered_(stats_.counter("bytesDelivered")),
       statNotifications_(stats_.counter("notifications"))
 {
+    SHRIMP_CHECK_HOOK(
+        check::SimChecker::instance().onIncomingEngineCreated(this));
 }
 
 sim::Task<>
@@ -65,6 +68,9 @@ IncomingDmaEngine::loop()
             continue;
         }
 
+        SHRIMP_CHECK_HOOK(check::SimChecker::instance().onDelivery(
+            this, pkt.src, pkt.seq,
+            ipt_.rangeEnabled(pkt.destAddr, len, cfg_.pageBytes)));
         co_await eisa_.transfer(len, cfg_.dmaWriteSetup);
         mem_.write(pkt.destAddr, pkt.payload.data(), len);
         ++delivered_;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "check/check.hh"
 
 namespace shrimp::nic
 {
@@ -19,6 +20,8 @@ Packetizer::Packetizer(sim::Simulator &sim, const MachineConfig &cfg,
       statTimerFlushes_(stats_.counter("timerFlushes")),
       statPacketBytes_(stats_.distribution("packetBytes"))
 {
+    SHRIMP_CHECK_HOOK(
+        check::SimChecker::instance().onPacketizerCreated(this));
 }
 
 void
@@ -35,6 +38,8 @@ Packetizer::auWrite(const OptEntry &e, PAddr dest_addr, const void *data,
         bool fits = pending_->payload.size() + len <= cfg_.auCombineLimit;
         if (e.combinable && consecutive && fits &&
             pending_->senderInterrupt == e.destInterrupt) {
+            SHRIMP_CHECK_HOOK(check::SimChecker::instance().onShadowAppend(
+                this, e.destNode, dest_addr, data, len));
             const auto *bytes = static_cast<const std::uint8_t *>(data);
             pending_->payload.insert(pending_->payload.end(), bytes,
                                      bytes + len);
@@ -63,6 +68,8 @@ void
 Packetizer::startPending(const OptEntry &e, PAddr dest_addr,
                          const void *data, std::size_t len)
 {
+    SHRIMP_CHECK_HOOK(check::SimChecker::instance().onShadowStart(
+        this, e.destNode, dest_addr, data, len));
     net::Packet pkt;
     pkt.src = self_;
     pkt.dst = e.destNode;
@@ -97,6 +104,8 @@ Packetizer::flushPending()
 {
     if (!pending_)
         return;
+    SHRIMP_CHECK_HOOK(
+        check::SimChecker::instance().onShadowFlush(this, *pending_));
     ++timerGen_; // cancel any armed timer
     ++packetsFormed_;
     statPacketsFormed_ += 1;

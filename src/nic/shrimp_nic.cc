@@ -1,6 +1,7 @@
 #include "nic/shrimp_nic.hh"
 
 #include "base/logging.hh"
+#include "check/check.hh"
 
 namespace shrimp::nic
 {
@@ -49,6 +50,10 @@ ShrimpNic::pumpLoop()
         if (!inject_)
             panic("NIC has no mesh injector installed");
         ++injected_;
+        // Per-NIC injection sequence (1-based; 0 means unsequenced).
+        // The backplane preserves per-source order, so receivers can
+        // verify in-order delivery against this.
+        pkt.seq = injected_;
         statPacketsInjected_ += 1;
         trace::instant(track_, "pkt.injected", sim_.queue().now());
         inject_(std::move(pkt));
@@ -68,6 +73,9 @@ ShrimpNic::snoopWrite(PAddr addr, const void *data, std::size_t len)
     if (!e)
         return;
     statOptHits_ += 1;
+    SHRIMP_CHECK_HOOK(check::SimChecker::instance().onOptUse(
+        self_, e->valid, e->destNode, std::size_t(addr % cfg_.pageBytes),
+        len, e->len));
     PAddr dest = e->destBase + PAddr(addr % cfg_.pageBytes);
     packetizer_.auWrite(*e, dest, data, len);
 }
@@ -79,6 +87,8 @@ ShrimpNic::deliberateSend(std::uint32_t slot, std::size_t dst_off,
     const OptEntry *e = opt_.slot(slot);
     if (!e)
         panic("deliberateSend through unknown import slot");
+    SHRIMP_CHECK_HOOK(check::SimChecker::instance().onOptUse(
+        self_, e->valid, e->destNode, dst_off, len, e->len));
     co_await duEngine_.send(*e, dst_off, src, len, notify);
 }
 

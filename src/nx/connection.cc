@@ -197,7 +197,8 @@ Connection::sendFragment(int buf_idx, const NxDesc &desc,
         // consecutive run of stores into the AU-bound area; the NIC
         // combines them into as few packets as possible.
         std::vector<std::uint8_t> marshal(rounded + nxDescBytes, 0);
-        std::memcpy(marshal.data(), data, desc.size);
+        if (desc.size > 0)
+            std::memcpy(marshal.data(), data, desc.size);
         std::memcpy(marshal.data() + rounded, &desc, nxDescBytes);
         co_await proc.write(VAddr(auData_ + write_off), marshal.data(),
                             marshal.size());
@@ -207,7 +208,8 @@ Connection::sendFragment(int buf_idx, const NxDesc &desc,
         // Copy payload + descriptor into the staging area, then a single
         // deliberate update carries both.
         std::vector<std::uint8_t> marshal(rounded + nxDescBytes, 0);
-        std::memcpy(marshal.data(), data, desc.size);
+        if (desc.size > 0)
+            std::memcpy(marshal.data(), data, desc.size);
         std::memcpy(marshal.data() + rounded, &desc, nxDescBytes);
         co_await proc.write(stage_, marshal.data(), marshal.size());
         vmmc::Status s = co_await ep_.send(importHandle_, write_off,

@@ -1,6 +1,7 @@
 #include "sim/bus.hh"
 
 #include "base/logging.hh"
+#include "check/check.hh"
 
 namespace shrimp::sim
 {
@@ -15,6 +16,7 @@ Bus::Bus(EventQueue &queue, double mb_per_sec, std::string name)
 {
     if (bw_ <= 0.0)
         fatal("bus bandwidth must be positive");
+    SHRIMP_CHECK_HOOK(check::SimChecker::instance().onBusCreated(this));
 }
 
 Tick
@@ -27,9 +29,13 @@ Task<>
 Bus::transfer(std::size_t bytes, Tick setup)
 {
     co_await lock_.acquire();
+    SHRIMP_CHECK_HOOK(
+        check::SimChecker::instance().onBusTransferStart(this, bytes));
     trace::ScopedSpan span(queue_, track_, "xfer");
     Tick t = occupancy(bytes, setup);
     co_await Delay{queue_, t};
+    SHRIMP_CHECK_HOOK(
+        check::SimChecker::instance().onBusTransferEnd(this, bytes));
     busyTime_ += t;
     bytes_ += bytes;
     ++transactions_;

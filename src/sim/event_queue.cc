@@ -3,10 +3,21 @@
 #include <utility>
 
 #include "base/logging.hh"
+#include "check/check.hh"
 #include "sim/simulator.hh"
 
 namespace shrimp::sim
 {
+
+EventQueue::EventQueue()
+{
+    SHRIMP_CHECK_HOOK(check::SimChecker::instance().onQueueCreated(this));
+}
+
+EventQueue::~EventQueue()
+{
+    SHRIMP_CHECK_HOOK(check::SimChecker::instance().onQueueDestroyed(this));
+}
 
 void
 EventQueue::schedule(Tick when, std::function<void()> fn)
@@ -31,6 +42,8 @@ EventQueue::runOne()
     // heap) or even recursively inspect the queue.
     Event ev = heap_.top();
     heap_.pop();
+    SHRIMP_CHECK_HOOK(check::SimChecker::instance().onEventRun(
+        this, ev.when, ev.seq, now_));
     now_ = ev.when;
     ev.fn();
     return true;
@@ -61,23 +74,65 @@ EventQueue::runUntil(Tick until, std::uint64_t max_events)
     return n;
 }
 
+Simulator::~Simulator()
+{
+    SHRIMP_CHECK_HOOK(
+        check::SimChecker::instance().onSimulatorDestroyed(this));
+    // Reclaim wrappers that never completed (deadlocked or abandoned
+    // simulations). destroy() unregisters each frame via ~promise_type,
+    // so iterate over a copy.
+    auto live = liveDetached_;
+    for (void *frame : live)
+        std::coroutine_handle<>::from_address(frame).destroy();
+}
+
 void
 Simulator::spawn(Task<> task)
 {
-    runDetached(std::move(task));
+    runDetached(std::move(task), "task");
+}
+
+void
+Simulator::spawn(Task<> task, std::string name)
+{
+    runDetached(std::move(task), std::move(name));
 }
 
 Simulator::Detached
-Simulator::runDetached(Task<> task)
+Simulator::runDetached(Task<> task, std::string name)
 {
     ++active_;
+    [[maybe_unused]] std::uint64_t check_id = 0;
+    SHRIMP_CHECK_HOOK(check_id = check::SimChecker::instance().onTaskSpawn(
+        this, name, queue_.now()));
     try {
         co_await std::move(task);
     } catch (...) {
-        if (!firstError_)
-            firstError_ = std::current_exception();
+        // Never swallow silently: report which task failed and when, so
+        // checker failures surface even if the first error wins.
+        std::exception_ptr err = std::current_exception();
+        std::string what = "unknown exception";
+        try {
+            std::rethrow_exception(err);
+        } catch (const std::exception &e) {
+            what = e.what();
+        } catch (...) {
+        }
+        if (!firstError_) {
+            warn(logging::format(
+                "task '%s' failed at %llu ns: %s (rethrown from "
+                "Simulator::run)", name.c_str(),
+                (unsigned long long)queue_.now(), what.c_str()));
+            firstError_ = err;
+        } else {
+            warn(logging::format(
+                "task '%s' also failed at %llu ns: %s (suppressed; the "
+                "first error is rethrown)", name.c_str(),
+                (unsigned long long)queue_.now(), what.c_str()));
+        }
     }
     --active_;
+    SHRIMP_CHECK_HOOK(check::SimChecker::instance().onTaskExit(check_id));
 }
 
 void
@@ -106,9 +161,15 @@ std::uint64_t
 Simulator::runAll(std::uint64_t max_events)
 {
     std::uint64_t n = run(max_events);
-    if (active_ != 0)
-        panic("simulation deadlock: " + std::to_string(active_) +
-              " task(s) never completed");
+    if (active_ != 0) {
+        std::string msg = "simulation deadlock: " +
+                          std::to_string(active_) +
+                          " task(s) never completed";
+        SHRIMP_CHECK_HOOK(
+            msg += "; " +
+                   check::SimChecker::instance().describeActiveTasks(this));
+        panic(msg);
+    }
     return n;
 }
 

@@ -23,6 +23,14 @@ namespace shrimp::sim
 class EventQueue
 {
   public:
+    // Defined out of line: construction and destruction register the
+    // queue with the invariant checker in SHRIMP_CHECK builds.
+    EventQueue();
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
     /** Current simulated time. */
     Tick now() const { return now_; }
 

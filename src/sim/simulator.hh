@@ -12,6 +12,8 @@
 #include <coroutine>
 #include <cstddef>
 #include <exception>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -23,15 +25,26 @@ namespace shrimp::sim
 class Simulator
 {
   public:
+    Simulator() = default;
+
+    /** Destroys the frames of detached tasks that never completed
+     *  (deadlocked simulations would otherwise leak them). */
+    ~Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
     EventQueue &queue() { return queue_; }
     Tick now() const { return queue_.now(); }
 
     /**
      * Start @p task as a detached top-level activity. The task begins
      * running immediately (until its first suspension) and is destroyed
-     * automatically when it completes.
+     * automatically when it completes. @p name labels the task in
+     * deadlock reports and exception logs.
      */
     void spawn(Task<> task);
+    void spawn(Task<> task, std::string name);
 
     /**
      * Drive the event loop until it drains, then rethrow the first
@@ -62,7 +75,31 @@ class Simulator
     {
         struct promise_type
         {
-            Detached get_return_object() { return {}; }
+            Simulator &sim;
+
+            /** Mirrors runDetached()'s parameter list (the implicit
+             *  object parameter first), per the coroutine promise
+             *  constructor rules. */
+            promise_type(Simulator &s, Task<> &, std::string &) : sim(s) {}
+
+            ~promise_type()
+            {
+                sim.liveDetached_.erase(
+                    std::coroutine_handle<promise_type>::from_promise(
+                        *this).address());
+            }
+
+            Detached
+            get_return_object()
+            {
+                // Track the live frame so ~Simulator can reclaim it if
+                // the task never finishes (see runDetached()).
+                sim.liveDetached_.insert(
+                    std::coroutine_handle<promise_type>::from_promise(
+                        *this).address());
+                return {};
+            }
+
             std::suspend_never initial_suspend() const noexcept { return {}; }
             std::suspend_never final_suspend() const noexcept { return {}; }
             void return_void() {}
@@ -72,12 +109,16 @@ class Simulator
         };
     };
 
-    Detached runDetached(Task<> task);
+    Detached runDetached(Task<> task, std::string name);
 
     EventQueue queue_;
     std::size_t active_ = 0;
     std::exception_ptr firstError_;
     std::vector<Task<>> daemons_;
+
+    /** Frames of detached wrappers still suspended; owned for cleanup
+     *  only (frames normally free themselves at completion). */
+    std::unordered_set<void *> liveDetached_;
 };
 
 /** Awaitable: suspend the current task for @p delay ticks. */

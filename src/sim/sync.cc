@@ -1,5 +1,7 @@
 #include "sim/sync.hh"
 
+#include "check/check.hh"
+
 namespace shrimp::sim
 {
 
@@ -10,8 +12,15 @@ Condition::notifyAll()
     // and must not be re-woken by this notification.
     std::vector<std::coroutine_handle<>> to_wake;
     to_wake.swap(waiters_);
-    for (auto h : to_wake)
-        queue_.scheduleIn(0, [h] { h.resume(); });
+    for (auto h : to_wake) {
+        SHRIMP_CHECK_HOOK(
+            check::SimChecker::instance().onResumeScheduled(h.address()));
+        queue_.scheduleIn(0, [h] {
+            SHRIMP_CHECK_HOOK(
+                check::SimChecker::instance().onResumeFired(h.address()));
+            h.resume();
+        });
+    }
 }
 
 void
@@ -22,7 +31,13 @@ Semaphore::release()
         waiters_.pop_front();
         // Ownership of the unit transfers directly to the waiter; the
         // count is not incremented.
-        queue_.scheduleIn(0, [h] { h.resume(); });
+        SHRIMP_CHECK_HOOK(
+            check::SimChecker::instance().onResumeScheduled(h.address()));
+        queue_.scheduleIn(0, [h] {
+            SHRIMP_CHECK_HOOK(
+                check::SimChecker::instance().onResumeFired(h.address()));
+            h.resume();
+        });
     } else {
         ++count_;
     }

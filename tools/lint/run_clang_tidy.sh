@@ -1,0 +1,24 @@
+#!/bin/sh
+# Run clang-tidy over the simulator library with the repo's .clang-tidy
+# config. Usage: tools/lint/run_clang_tidy.sh [build-dir]
+# The build dir must have been configured with
+#   cmake -B <build-dir> -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+set -eu
+
+root="$(cd "$(dirname "$0")/../.." && pwd)"
+build="${1:-$root/build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_clang_tidy: clang-tidy not installed; skipping" >&2
+    exit 0
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+    echo "run_clang_tidy: $build/compile_commands.json missing;" \
+         "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    exit 1
+fi
+
+# shellcheck disable=SC2046
+find "$root/src" -name '*.cc' -print0 |
+    xargs -0 -P "$(nproc)" -n 4 clang-tidy -p "$build" --quiet
+echo "run_clang_tidy: clean"

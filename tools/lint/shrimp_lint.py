@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for the shrimp simulator.
+
+Enforces simulator hygiene that generic tools miss:
+
+  1. determinism: no wall-clock or pseudo-random sources in src/ — the
+     simulation must depend only on the event queue (Tick time), or two
+     runs of the same workload diverge and the figures are garbage.
+  2. include guards: every header carries a guard named after its path
+     (src/sim/task.hh -> SHRIMP_SIM_TASK_HH), so moved files get caught.
+  3. header hygiene: no `using namespace` at file scope in headers, no
+     main() in headers.
+  4. Task discard safety: sim/task.hh must keep the [[nodiscard]]
+     attribute on Task — a dropped Task<T> is a coroutine that never
+     runs, and the attribute (with SHRIMP_WERROR) makes that a build
+     error instead of silent lost work.
+  5. own-header-first: src/foo/bar.cc includes "foo/bar.hh" before
+     anything else, keeping headers self-contained.
+
+Usage: tools/lint/shrimp_lint.py [repo-root]
+Exit status 0 when clean, 1 with findings listed on stderr.
+
+A line can opt out of rule 1 with a trailing `// lint: allow-nondeterminism`
+comment (none needed today; prefer plumbing Tick time instead).
+"""
+
+import os
+import re
+import sys
+
+# Sources of nondeterminism banned from the simulator library. Matched
+# against code with comments and string literals stripped.
+BANNED = [
+    (r"\brand\s*\(", "rand()"),
+    (r"\bsrand\s*\(", "srand()"),
+    (r"\brandom\s*\(", "random()"),
+    (r"\bdrand48\s*\(", "drand48()"),
+    (r"\brandom_device\b", "std::random_device"),
+    (r"\bmt19937", "std::mt19937"),
+    (r"\bsystem_clock\b", "std::chrono::system_clock"),
+    (r"\bsteady_clock\b", "std::chrono::steady_clock"),
+    (r"\bhigh_resolution_clock\b", "std::chrono::high_resolution_clock"),
+    (r"\bgettimeofday\s*\(", "gettimeofday()"),
+    (r"\bclock_gettime\s*\(", "clock_gettime()"),
+    (r"\btime\s*\(\s*(NULL|nullptr|0)\s*\)", "time()"),
+    (r"\blocaltime\s*\(", "localtime()"),
+    (r"\bgmtime\s*\(", "gmtime()"),
+]
+
+ALLOW_MARKER = "lint: allow-nondeterminism"
+
+findings = []
+
+
+def finding(path, line_no, msg):
+    findings.append(f"{path}:{line_no}: {msg}")
+
+
+def strip_comments_and_strings(text):
+    """Replace comments and string/char literals with spaces, keeping
+    line structure so reported line numbers stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                mode = c
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        else:
+            if c == "\n":
+                out.append("\n")
+                if mode == "line":
+                    mode = None
+                i += 1
+                continue
+            if mode == "block" and c == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+                continue
+            if mode in "\"'":
+                if c == "\\":
+                    out.append("  ")
+                    i += 2
+                    continue
+                if c == mode:
+                    mode = None
+                out.append(" ")
+                i += 1
+                continue
+            out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def guard_name(root_dir, path):
+    # Headers under src/ are included relative to src/ (the include
+    # root), so their guards omit the "SRC_" component.
+    src_dir = os.path.join(root_dir, "src")
+    if path.startswith(src_dir + os.sep):
+        rel = os.path.relpath(path, src_dir)
+    else:
+        rel = os.path.relpath(path, root_dir)
+    return "SHRIMP_" + re.sub(r"[/.]", "_", rel).upper()
+
+
+def check_banned(path, raw_lines, code_lines):
+    for no, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        if ALLOW_MARKER in raw:
+            continue
+        for pat, what in BANNED:
+            if re.search(pat, code):
+                finding(path, no,
+                        f"nondeterminism: {what} is banned in src/ "
+                        "(simulations must be driven by Tick time only)")
+
+
+def check_header(path, expect_guard, raw_lines, code_lines):
+    text = "".join(code_lines)
+    m = re.search(r"#ifndef\s+(\w+)\s*\n\s*#define\s+(\w+)", text)
+    if not m:
+        finding(path, 1, "missing include guard "
+                f"(#ifndef/#define {expect_guard})")
+    elif m.group(1) != expect_guard or m.group(2) != expect_guard:
+        finding(path, 1, f"include guard '{m.group(1)}' does not match "
+                f"the path-derived name '{expect_guard}'")
+    for no, code in enumerate(code_lines, 1):
+        if re.match(r"\s*using\s+namespace\b", code):
+            finding(path, no,
+                    "`using namespace` at file scope in a header "
+                    "pollutes every includer")
+        if re.search(r"\bint\s+main\s*\(", code):
+            finding(path, no, "main() defined in a header")
+
+
+def check_own_header_first(path, src_dir, raw_lines):
+    rel = os.path.relpath(path, src_dir)
+    own = os.path.splitext(rel)[0] + ".hh"
+    if not os.path.exists(os.path.join(src_dir, own)):
+        return  # no paired header (nothing to order)
+    for raw in raw_lines:
+        m = re.match(r'\s*#include\s+"([^"]+)"', raw)
+        if m:
+            if m.group(1) != own:
+                finding(path, raw_lines.index(raw) + 1,
+                        f'first include must be the own header "{own}" '
+                        "(keeps headers self-contained)")
+            return
+        if re.match(r"\s*#include\s+<", raw):
+            finding(path, raw_lines.index(raw) + 1,
+                    f'own header "{own}" must come before system '
+                    "includes")
+            return
+
+
+def check_task_nodiscard(src_dir):
+    path = os.path.join(src_dir, "sim", "task.hh")
+    try:
+        text = open(path, encoding="utf-8").read()
+    except OSError:
+        finding(path, 1, "sim/task.hh not found")
+        return
+    if not re.search(r"class\s+\[\[nodiscard\]\]\s+Task", text):
+        finding(path, 1,
+                "Task must stay [[nodiscard]]: a discarded Task<T> is a "
+                "coroutine that silently never runs")
+
+
+def lint_tree(root):
+    src_dir = os.path.join(root, "src")
+    check_task_nodiscard(src_dir)
+
+    guarded_roots = [("src", src_dir),
+                     ("tests", os.path.join(root, "tests")),
+                     ("bench", os.path.join(root, "bench"))]
+    for label, base in guarded_roots:
+        for dirpath, _, names in sorted(os.walk(base)):
+            for name in sorted(names):
+                if not name.endswith((".hh", ".cc")):
+                    continue
+                path = os.path.join(dirpath, name)
+                raw = open(path, encoding="utf-8").read()
+                raw_lines = raw.splitlines(keepends=True)
+                code_lines = strip_comments_and_strings(raw).splitlines(
+                    keepends=True)
+                if label == "src":
+                    check_banned(path, raw_lines, code_lines)
+                    if name.endswith(".cc"):
+                        check_own_header_first(path, src_dir, raw_lines)
+                if name.endswith(".hh"):
+                    check_header(path, guard_name(root, path), raw_lines,
+                                 code_lines)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.normpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
+                     ".."))
+    lint_tree(root)
+    if findings:
+        for f in findings:
+            print(f, file=sys.stderr)
+        print(f"shrimp_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("shrimp_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
