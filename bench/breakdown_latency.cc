@@ -493,14 +493,53 @@ main(int argc, char **argv)
                 "library overhead -> OPT/packetizer -> mesh link -> "
                 "incoming DMA -> notification/poll (sections 3-5)");
 
-    printBreakdown("raw VMMC (fig3 ping-pong, one-way)", measureRaw,
-                   {"AU-1copy", "AU-2copy", "DU-0copy", "DU-1copy"},
-                   {4, 1024});
-    printBreakdown("NX (fig4 ping-pong, one-way)", measureNx,
-                   {"AU-1copy", "AU-2copy", "DU-0copy", "DU-1copy",
-                    "DU-2copy"},
-                   {4, 1024});
-    printBreakdown("VRPC (fig5 null call, round trip)", measureVrpc,
-                   {"AU-1copy", "DU-1copy"}, {4, 1024});
-    return 0;
+    if (!checkDeterminismRequested()) {
+        printBreakdown("raw VMMC (fig3 ping-pong, one-way)", measureRaw,
+                       {"AU-1copy", "AU-2copy", "DU-0copy", "DU-1copy"},
+                       {4, 1024});
+        printBreakdown("NX (fig4 ping-pong, one-way)", measureNx,
+                       {"AU-1copy", "AU-2copy", "DU-0copy", "DU-1copy",
+                        "DU-2copy"},
+                       {4, 1024});
+        printBreakdown("VRPC (fig5 null call, round trip)", measureVrpc,
+                       {"AU-1copy", "DU-1copy"}, {4, 1024});
+    }
+
+    // Register every measurement loop with the shared driver so
+    // --check-determinism (and plain google-benchmark runs) replay the
+    // exact traced loops. Curve names carry a layer prefix.
+    std::vector<std::size_t> sizes{4, 1024};
+    std::vector<Curve> curves;
+    auto addCurves = [&](const char *layer,
+                         std::initializer_list<const char *> names) {
+        for (const char *name : names) {
+            Curve c;
+            c.name = std::string(layer) + "/" + name;
+            for (std::size_t s : sizes)
+                c.points[s] = Point{};
+            curves.push_back(std::move(c));
+        }
+    };
+    addCurves("raw", {"AU-1copy", "AU-2copy", "DU-0copy", "DU-1copy"});
+    addCurves("nx",
+              {"AU-1copy", "AU-2copy", "DU-0copy", "DU-1copy",
+               "DU-2copy"});
+    addCurves("vrpc", {"AU-1copy", "DU-1copy"});
+
+    auto dispatch = [](const std::string &curve,
+                       std::size_t size) -> double {
+        std::size_t slash = curve.find('/');
+        std::string layer = curve.substr(0, slash);
+        std::string variant = curve.substr(slash + 1);
+        StageTotals tot;
+        double end_to_end_ns = 0;
+        if (layer == "raw")
+            measureRaw(variant, size, tot, end_to_end_ns);
+        else if (layer == "nx")
+            measureNx(variant, size, tot, end_to_end_ns);
+        else
+            measureVrpc(variant, size, tot, end_to_end_ns);
+        return end_to_end_ns / 1e9;
+    };
+    return runGoogleBenchmarks(argc, argv, curves, sizes, dispatch);
 }

@@ -38,6 +38,12 @@ Tracer::track(const std::string &name)
             return i;
     }
     tracks_.push_back(name);
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::size_t i = 0; i <= name.size(); ++i) { // includes the NUL
+        h ^= static_cast<unsigned char>(i < name.size() ? name[i] : 0);
+        h *= 1099511628211ull;
+    }
+    trackHashes_.push_back(h);
     return TrackId(tracks_.size() - 1);
 }
 
@@ -55,8 +61,10 @@ Tracer::hash() const
     };
     for (const Event &e : events_) {
         mix(&e.tick, sizeof(e.tick));
-        const std::string &track = tracks_.at(e.track);
-        mix(track.data(), track.size() + 1);
+        // The track name's pre-computed digest stands in for the name
+        // itself (ids may differ across runs, digests may not).
+        const std::uint64_t th = trackHashes_.at(e.track);
+        mix(&th, sizeof(th));
         mix(e.name, std::strlen(e.name) + 1);
         mix(&e.phase, sizeof(e.phase));
     }

@@ -121,6 +121,10 @@ class Tracer
 
   private:
     std::vector<std::string> tracks_;
+    //! FNV-1a of each track's name (computed once at registration):
+    //! hash() mixes this 8-byte digest instead of re-hashing the name
+    //! string for every event on the track.
+    std::vector<std::uint64_t> trackHashes_;
     std::vector<Event> events_;
 };
 

@@ -1,7 +1,10 @@
 #include "check/check.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+
+#include "check/race.hh"
 
 namespace shrimp::check
 {
@@ -42,6 +45,9 @@ SimChecker::reset()
     buses_.clear();
     shadows_.clear();
     lastDeliverySeq_.clear();
+    meshes_.clear();
+    routers_.clear();
+    RaceDetector::instance().reset();
 }
 
 void
@@ -346,6 +352,152 @@ SimChecker::onDelivery(const void *engine, NodeId src, std::uint64_t seq,
         return;
     }
     last[src] = seq;
+}
+
+void
+SimChecker::onDuPacket(const void *packetizer, const net::Packet &pkt,
+                       const void *expected, std::size_t len)
+{
+    (void)packetizer;
+    numChecks_ += 1;
+    if (pkt.payload.size() % 4 != 0) {
+        violation(logging::format(
+            "deliberate-update packet payload is %zu bytes, not a whole "
+            "number of words (the DU engine transfers 4-byte words)",
+            pkt.payload.size()));
+        return;
+    }
+    if (pkt.payload.size() != len ||
+        (len != 0 &&
+         std::memcmp(pkt.payload.data(), expected, len) != 0)) {
+        violation(logging::format(
+            "deliberate-update packet payload (%zu bytes) is not "
+            "byte-identical to the %zu source bytes read from memory "
+            "(DU shadow check)",
+            pkt.payload.size(), len));
+    }
+}
+
+// ---- mesh/routers --------------------------------------------------------
+
+void
+SimChecker::onMeshCreated(const void *mesh)
+{
+    meshes_[mesh] = MeshState{};
+}
+
+void
+SimChecker::onMeshDestroyed(const void *mesh)
+{
+    meshes_.erase(mesh);
+}
+
+void
+SimChecker::onMeshInject(const void *mesh, NodeId src, NodeId dst,
+                         int expect_hops, std::uint64_t seq)
+{
+    numChecks_ += 1;
+    MeshState &st = meshes_[mesh];
+    if (!st.inflight.emplace(seq, InflightPkt{src, dst, expect_hops, 0})
+             .second) {
+        violation(logging::format(
+            "mesh injected two packets with the same sequence number "
+            "%llu (packet conservation broken)",
+            (unsigned long long)seq));
+        return;
+    }
+    st.fifo[{src, dst}].push_back(seq);
+}
+
+void
+SimChecker::onMeshHop(const void *mesh, std::uint64_t seq)
+{
+    auto mit = meshes_.find(mesh);
+    if (mit == meshes_.end())
+        return;
+    auto it = mit->second.inflight.find(seq);
+    if (it != mit->second.inflight.end())
+        it->second.hops += 1;
+}
+
+void
+SimChecker::onMeshEject(const void *mesh, NodeId at, NodeId src, NodeId dst,
+                        std::uint64_t seq)
+{
+    numChecks_ += 1;
+    MeshState &st = meshes_[mesh];
+    auto it = st.inflight.find(seq);
+    if (it == st.inflight.end()) {
+        violation(logging::format(
+            "mesh ejected packet seq %llu (%u -> %u) that was never "
+            "injected (packet conservation broken)",
+            (unsigned long long)seq, unsigned(src), unsigned(dst)));
+        return;
+    }
+    const InflightPkt pkt = it->second;
+    st.inflight.erase(it);
+    if (at != pkt.dst) {
+        violation(logging::format(
+            "misrouted packet seq %llu: ejected at node %u but destined "
+            "for node %u",
+            (unsigned long long)seq, unsigned(at), unsigned(pkt.dst)));
+        return;
+    }
+    if (pkt.hops != pkt.expectHops) {
+        violation(logging::format(
+            "flow-control credit conservation broken for packet seq "
+            "%llu (%u -> %u): %d link traversals consumed but the XY "
+            "route needs %d",
+            (unsigned long long)seq, unsigned(pkt.src), unsigned(pkt.dst),
+            pkt.hops, pkt.expectHops));
+        return;
+    }
+    auto &q = st.fifo[{pkt.src, pkt.dst}];
+    if (q.empty() || q.front() != seq) {
+        violation(logging::format(
+            "mesh broke sender-to-receiver order: packet seq %llu "
+            "(%u -> %u) ejected before seq %llu injected earlier on the "
+            "same pair",
+            (unsigned long long)seq, unsigned(pkt.src), unsigned(pkt.dst),
+            (unsigned long long)(q.empty() ? 0 : q.front())));
+        auto qit = std::find(q.begin(), q.end(), seq);
+        if (qit != q.end())
+            q.erase(qit);
+        return;
+    }
+    q.pop_front();
+}
+
+void
+SimChecker::onRouterCreated(const void *router)
+{
+    routers_[router] = RouterState{};
+}
+
+void
+SimChecker::onRouterDestroyed(const void *router)
+{
+    routers_.erase(router);
+}
+
+void
+SimChecker::onLinkTraverse(const void *router, NodeId router_id, int dir,
+                           NodeId src, std::uint64_t seq)
+{
+    numChecks_ += 1;
+    if (seq == 0)
+        return; // unsequenced packet (tests drive forward() directly)
+    auto &last = routers_[router].lastLinkSeq;
+    auto it = last.find({dir, src});
+    if (it != last.end() && seq <= it->second) {
+        violation(logging::format(
+            "per-link in-order delivery broken on router %u link %d: "
+            "packet seq %llu from node %u traversed after seq %llu",
+            unsigned(router_id), dir, (unsigned long long)seq,
+            unsigned(src), (unsigned long long)it->second));
+        return;
+    }
+    last[{dir, src}] = seq;
 }
 
 } // namespace shrimp::check

@@ -28,10 +28,12 @@
 #define SHRIMP_CHECK_CHECK_HH
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "base/logging.hh"
@@ -81,6 +83,14 @@ class SimChecker
 
     /** Number of individual invariant checks evaluated so far. */
     std::uint64_t numChecks() const { return numChecks_; }
+
+    /** Record a violation found by an auxiliary checker (the race
+     *  detector): same print format and abort/collect behavior as the
+     *  built-in checks. */
+    void report(const std::string &msg) { violation(msg); }
+
+    /** Count an invariant evaluation performed by an auxiliary checker. */
+    void noteCheck() { numChecks_ += 1; }
 
     // ---- event queue: monotonicity + schedule-order determinism -------
 
@@ -163,6 +173,43 @@ class SimChecker
     void onDelivery(const void *engine, NodeId src, std::uint64_t seq,
                     bool ipt_enabled);
 
+    /** A deliberate-update packet is about to enter the outgoing FIFO:
+     *  its payload must be whole words and byte-identical to the
+     *  @p len source-memory bytes it claims to carry (@p expected is an
+     *  independent re-read of that range). */
+    void onDuPacket(const void *packetizer, const net::Packet &pkt,
+                    const void *expected, std::size_t len);
+
+    // ---- mesh/routers: conservation + per-link in-order delivery ------
+
+    void onMeshCreated(const void *mesh);
+    void onMeshDestroyed(const void *mesh);
+
+    /** Packet @p seq (mesh-wide, nonzero) was injected at @p src toward
+     *  @p dst; XY routing must traverse exactly @p expect_hops links. */
+    void onMeshInject(const void *mesh, NodeId src, NodeId dst,
+                      int expect_hops, std::uint64_t seq);
+
+    /** Packet @p seq completed one link traversal. */
+    void onMeshHop(const void *mesh, std::uint64_t seq);
+
+    /** Packet @p seq was ejected at node @p at. Conservation: it must be
+     *  in flight; it must eject at its destination; packets of one
+     *  (src, dst) pair must eject in injection order; and its link
+     *  traversals must equal the route length (each hop consumes and
+     *  returns exactly one link credit). */
+    void onMeshEject(const void *mesh, NodeId at, NodeId src, NodeId dst,
+                     std::uint64_t seq);
+
+    void onRouterCreated(const void *router);
+    void onRouterDestroyed(const void *router);
+
+    /** A packet from @p src finished traversing link @p dir of router
+     *  @p router_id: per-source seqs on one link must be strictly
+     *  increasing (seq 0 = unsequenced test packets, skipped). */
+    void onLinkTraverse(const void *router, NodeId router_id, int dir,
+                        NodeId src, std::uint64_t seq);
+
   private:
     SimChecker() = default;
 
@@ -198,6 +245,27 @@ class SimChecker
         std::vector<std::uint8_t> bytes;
     };
 
+    struct InflightPkt
+    {
+        NodeId src = invalidNode;
+        NodeId dst = invalidNode;
+        int expectHops = 0;
+        int hops = 0;
+    };
+
+    struct MeshState
+    {
+        std::unordered_map<std::uint64_t, InflightPkt> inflight;
+        std::map<std::pair<NodeId, NodeId>, std::deque<std::uint64_t>>
+            fifo;
+    };
+
+    struct RouterState
+    {
+        // (dir, src) -> last seq that finished traversing that link.
+        std::map<std::pair<int, NodeId>, std::uint64_t> lastLinkSeq;
+    };
+
     bool abortOnViolation_ = true;
     std::uint64_t numChecks_ = 0;
     std::vector<std::string> violations_;
@@ -210,6 +278,8 @@ class SimChecker
     std::unordered_map<const void *, Shadow> shadows_;
     std::unordered_map<const void *, std::map<NodeId, std::uint64_t>>
         lastDeliverySeq_;
+    std::unordered_map<const void *, MeshState> meshes_;
+    std::unordered_map<const void *, RouterState> routers_;
 };
 
 } // namespace shrimp::check

@@ -1,6 +1,8 @@
 #include "mem/address_space.hh"
 
 #include "base/logging.hh"
+#include "check/check.hh"
+#include "check/race.hh"
 
 namespace shrimp::mem
 {
@@ -22,6 +24,8 @@ AddressSpace::alloc(std::size_t bytes, CacheMode mode)
     for (std::size_t i = 0; i < npages; ++i) {
         PageNum vpn = (base / page) + PageNum(i);
         pages_[vpn] = PageEntry{PAddr(frame + i * page), mode};
+        SHRIMP_CHECK_HOOK(check::RaceDetector::instance().onCacheMode(
+            &mem_, pages_[vpn].frame, mode, mem_.queue().now()));
     }
     nextVAddr_ += VAddr(npages * page);
     return base;
@@ -92,8 +96,11 @@ AddressSpace::setCacheMode(VAddr addr, std::size_t len, CacheMode mode)
     PageNum first = addr / pageBytes();
     PageNum last = PageNum((std::uint64_t(addr) + (len ? len : 1) - 1) /
                            pageBytes());
-    for (PageNum vpn = first; vpn <= last; ++vpn)
+    for (PageNum vpn = first; vpn <= last; ++vpn) {
         pages_[vpn].mode = mode;
+        SHRIMP_CHECK_HOOK(check::RaceDetector::instance().onCacheMode(
+            &mem_, pages_[vpn].frame, mode, mem_.queue().now()));
+    }
 }
 
 } // namespace shrimp::mem

@@ -3,17 +3,27 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "check/check.hh"
+#include "check/race.hh"
 
 namespace shrimp::mem
 {
 
 Memory::Memory(sim::EventQueue &queue, std::size_t bytes,
                std::size_t page_bytes, std::string name)
-    : data_(bytes, 0), pageBytes_(page_bytes), name_(std::move(name)),
-      writeCond_(queue)
+    : queue_(queue), data_(bytes, 0), pageBytes_(page_bytes),
+      name_(std::move(name)), writeCond_(queue)
 {
     if (page_bytes == 0 || bytes % page_bytes != 0)
         fatal("memory size must be a multiple of the page size");
+    SHRIMP_CHECK_HOOK(check::RaceDetector::instance().onMemoryCreated(
+        this, name_, pageBytes_));
+}
+
+Memory::~Memory()
+{
+    SHRIMP_CHECK_HOOK(check::RaceDetector::instance().onMemoryDestroyed(
+        this));
 }
 
 void
@@ -29,6 +39,8 @@ void
 Memory::write(PAddr addr, const void *src, std::size_t n)
 {
     checkRange(addr, n);
+    SHRIMP_CHECK_HOOK(check::RaceDetector::instance().onWrite(
+        this, addr, n, queue_.now()));
     if (n > 0)
         std::memcpy(data_.data() + addr, src, n);
     ++writeCount_;
@@ -39,6 +51,8 @@ void
 Memory::read(PAddr addr, void *dst, std::size_t n) const
 {
     checkRange(addr, n);
+    SHRIMP_CHECK_HOOK(check::RaceDetector::instance().onRead(
+        this, addr, n, queue_.now()));
     if (n > 0)
         std::memcpy(dst, data_.data() + addr, n);
 }

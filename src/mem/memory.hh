@@ -27,6 +27,13 @@ class Memory
   public:
     Memory(sim::EventQueue &queue, std::size_t bytes, std::size_t page_bytes,
            std::string name = "mem");
+    ~Memory();
+
+    Memory(const Memory &) = delete;
+    Memory &operator=(const Memory &) = delete;
+
+    const std::string &name() const { return name_; }
+    sim::EventQueue &queue() { return queue_; }
 
     std::size_t size() const { return data_.size(); }
     std::size_t pageBytes() const { return pageBytes_; }
@@ -64,6 +71,7 @@ class Memory
   private:
     void checkRange(PAddr addr, std::size_t n) const;
 
+    sim::EventQueue &queue_;
     std::vector<std::uint8_t> data_;
     std::size_t pageBytes_;
     std::string name_;

@@ -1,6 +1,7 @@
 #include "net/mesh.hh"
 
 #include "base/logging.hh"
+#include "check/check.hh"
 
 namespace shrimp::net
 {
@@ -33,6 +34,12 @@ Mesh::Mesh(sim::Simulator &sim, const MachineConfig &cfg)
         if (yOf(i) > 0)
             routers_[i]->connect(Dir::North);
     }
+    SHRIMP_CHECK_HOOK(check::SimChecker::instance().onMeshCreated(this));
+}
+
+Mesh::~Mesh()
+{
+    SHRIMP_CHECK_HOOK(check::SimChecker::instance().onMeshDestroyed(this));
 }
 
 NodeId
@@ -84,7 +91,10 @@ Mesh::inject(Packet pkt)
 {
     if (pkt.src >= numNodes() || pkt.dst >= numNodes())
         panic("packet injected with out-of-range node id");
-    pkt.seq = nextSeq_++;
+    // 1-based so seq 0 keeps meaning "unsequenced" everywhere.
+    pkt.seq = ++nextSeq_;
+    SHRIMP_CHECK_HOOK(check::SimChecker::instance().onMeshInject(
+        this, pkt.src, pkt.dst, hops(pkt.src, pkt.dst), pkt.seq));
     statPacketsInjected_ += 1;
     statBytesInjected_ += pkt.payload.size();
     statHops_.sample(double(hops(pkt.src, pkt.dst)));
@@ -99,11 +109,15 @@ Mesh::routeTask(Packet pkt)
         Dir d = nextDir(cur, pkt.dst);
         NodeId next = neighbor(cur, d);
         co_await routers_[cur]->forward(pkt, d);
+        SHRIMP_CHECK_HOOK(
+            check::SimChecker::instance().onMeshHop(this, pkt.seq));
         cur = next;
     }
     ++delivered_;
     statPacketsDelivered_ += 1;
     trace::instant(routerTracks_[cur], "pkt.ejected", sim_.queue().now());
+    SHRIMP_CHECK_HOOK(check::SimChecker::instance().onMeshEject(
+        this, cur, pkt.src, pkt.dst, pkt.seq));
     routers_[cur]->eject(std::move(pkt));
 }
 

@@ -26,6 +26,7 @@ class Mesh
 {
   public:
     Mesh(sim::Simulator &sim, const MachineConfig &cfg);
+    ~Mesh();
 
     int width() const { return width_; }
     int height() const { return height_; }

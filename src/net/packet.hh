@@ -12,9 +12,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "base/types.hh"
+
+namespace shrimp::check
+{
+struct RaceClock;
+} // namespace shrimp::check
 
 namespace shrimp::net
 {
@@ -36,6 +42,12 @@ struct Packet
 
     /** Injection sequence number, for debugging and order checks. */
     std::uint64_t seq = 0;
+
+#ifdef SHRIMP_CHECK
+    /** Sender's vector clock at packet formation; the incoming engine
+     *  joins it before the delivery DMA (race-detector edge). */
+    std::shared_ptr<const check::RaceClock> raceClock;
+#endif
 
     /** Header bytes on the wire: route info + destination address +
      *  length + flags. */

@@ -1,6 +1,7 @@
 #include "net/router.hh"
 
 #include "base/logging.hh"
+#include "check/check.hh"
 
 namespace shrimp::net
 {
@@ -9,6 +10,13 @@ Router::Router(sim::EventQueue &queue, NodeId id, const MachineConfig &cfg)
     : queue_(queue), id_(id), hopLatency_(cfg.hopLatency),
       linkBw_(cfg.linkBw), ejectQueue_(queue)
 {
+    SHRIMP_CHECK_HOOK(check::SimChecker::instance().onRouterCreated(this));
+}
+
+Router::~Router()
+{
+    SHRIMP_CHECK_HOOK(
+        check::SimChecker::instance().onRouterDestroyed(this));
 }
 
 void
@@ -36,6 +44,10 @@ Router::forward(const Packet &pkt, Dir d)
     if (!link)
         panic("forward on unconnected mesh link");
     co_await link->transfer(pkt.wireBytes(), hopLatency_);
+    // After the transfer: the link bus serializes packets, so completion
+    // order is the order the link actually carried them.
+    SHRIMP_CHECK_HOOK(check::SimChecker::instance().onLinkTraverse(
+        this, id_, int(d), pkt.src, pkt.seq));
     ++forwarded_;
 }
 

@@ -37,6 +37,7 @@ class Router
 {
   public:
     Router(sim::EventQueue &queue, NodeId id, const MachineConfig &cfg);
+    ~Router();
 
     NodeId id() const { return id_; }
 

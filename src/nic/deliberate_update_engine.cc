@@ -1,8 +1,12 @@
 #include "nic/deliberate_update_engine.hh"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "base/logging.hh"
+#include "check/check.hh"
+#include "check/race.hh"
 
 namespace shrimp::nic
 {
@@ -13,6 +17,10 @@ DeliberateUpdateEngine::DeliberateUpdateEngine(const MachineConfig &cfg,
                                                Packetizer &packetizer)
     : cfg_(cfg), mem_(memory), eisa_(eisa), packetizer_(packetizer)
 {
+    SHRIMP_CHECK_HOOK(
+        raceActor_ = check::RaceDetector::instance().registerActor(
+            "node" + std::to_string(packetizer.self()) + ".du",
+            check::ActorKind::Du));
 }
 
 sim::Task<>
@@ -48,8 +56,23 @@ DeliberateUpdateEngine::send(const OptEntry &dst, std::size_t dst_off,
         pkt.dst = dst.destNode;
         pkt.destAddr = dest_addr;
         pkt.payload.resize(chunk);
-        mem_.read(src + PAddr(done), pkt.payload.data(), chunk);
+        {
+            // The DMA read is the engine's access, not the caller's.
+            SHRIMP_RACE_SCOPE(raceActor_);
+            mem_.read(src + PAddr(done), pkt.payload.data(), chunk);
+        }
         pkt.senderInterrupt = notify && (done + chunk == wire_len);
+        // Shadow check: an unattributed re-read of the source range must
+        // match what the packet carries (catches any payload corruption
+        // between the DMA read and packet emission).
+        SHRIMP_CHECK_HOOK(
+            std::vector<std::uint8_t> shadow(chunk);
+            mem_.read(src + PAddr(done), shadow.data(), chunk);
+            check::SimChecker::instance().onDuPacket(
+                &packetizer_, pkt, shadow.data(), chunk));
+        SHRIMP_CHECK_HOOK(pkt.raceClock =
+                              check::RaceDetector::instance().snapshot(
+                                  raceActor_));
         packetizer_.duPacket(std::move(pkt));
 
         done += chunk;

@@ -52,6 +52,10 @@ class DeliberateUpdateEngine
     std::uint64_t transfers() const { return transfers_; }
     std::uint64_t bytesSent() const { return bytesSent_; }
 
+    /** Race-detector actor id of this engine's DMA reads (noActor in
+     *  non-SHRIMP_CHECK builds). */
+    std::uint32_t raceActor() const { return raceActor_; }
+
   private:
     const MachineConfig &cfg_;
     mem::Memory &mem_;
@@ -60,6 +64,7 @@ class DeliberateUpdateEngine
 
     std::uint64_t transfers_ = 0;
     std::uint64_t bytesSent_ = 0;
+    std::uint32_t raceActor_ = 0xffffffffu; // check::noActor
 };
 
 } // namespace shrimp::nic

@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "check/check.hh"
+#include "check/race.hh"
 
 namespace shrimp::nic
 {
@@ -24,6 +25,10 @@ IncomingDmaEngine::IncomingDmaEngine(sim::Simulator &sim,
 {
     SHRIMP_CHECK_HOOK(
         check::SimChecker::instance().onIncomingEngineCreated(this));
+    SHRIMP_CHECK_HOOK(
+        raceActor_ = check::RaceDetector::instance().registerActor(
+            "node" + std::to_string(self) + ".dma",
+            check::ActorKind::Dma));
 }
 
 sim::Task<>
@@ -72,7 +77,16 @@ IncomingDmaEngine::loop()
             this, pkt.src, pkt.seq,
             ipt_.rangeEnabled(pkt.destAddr, len, cfg_.pageBytes)));
         co_await eisa_.transfer(len, cfg_.dmaWriteSetup);
-        mem_.write(pkt.destAddr, pkt.payload.data(), len);
+        {
+            // The delivery write is ordered after the sender's clock at
+            // packet formation and after the export-window handshake.
+            SHRIMP_RACE_SCOPE(raceActor_);
+            SHRIMP_CHECK_HOOK(check::RaceDetector::instance().join(
+                raceActor_, pkt.raceClock));
+            SHRIMP_CHECK_HOOK(check::RaceDetector::instance().joinWindow(
+                &mem_, pkt.destAddr, len, raceActor_));
+            mem_.write(pkt.destAddr, pkt.payload.data(), len);
+        }
         ++delivered_;
         bytesDelivered_ += len;
         statPacketsDelivered_ += 1;
@@ -84,8 +98,13 @@ IncomingDmaEngine::loop()
             ++notifications_;
             statNotifications_ += 1;
             trace::instant(track_, "notify", sim_.queue().now());
-            if (notifyHandler_)
+            if (notifyHandler_) {
+                // The handler chain runs synchronously up to the handoff
+                // to the notified process (any spawned delivery task
+                // suspends at its first cost charge).
+                SHRIMP_RACE_SCOPE(raceActor_);
                 notifyHandler_(pkt);
+            }
         }
     }
 }

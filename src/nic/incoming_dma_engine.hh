@@ -74,6 +74,10 @@ class IncomingDmaEngine
     /** Wait until no packet is in flight toward pages [first, last]. */
     sim::Task<> waitDrain(PageNum first, PageNum last);
 
+    /** Race-detector actor id of this engine's delivery writes (noActor
+     *  in non-SHRIMP_CHECK builds). */
+    std::uint32_t raceActor() const { return raceActor_; }
+
     std::uint64_t packetsDelivered() const { return delivered_; }
     std::uint64_t packetsDropped() const { return dropped_; }
     std::uint64_t bytesDelivered() const { return bytesDelivered_; }
@@ -100,6 +104,7 @@ class IncomingDmaEngine
 
     std::map<PageNum, std::uint32_t> inflight_;
     sim::Condition drainCond_;
+    std::uint32_t raceActor_ = 0xffffffffu; // check::noActor
 
     std::uint64_t delivered_ = 0;
     std::uint64_t dropped_ = 0;

@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "check/check.hh"
+#include "check/race.hh"
 
 namespace shrimp::nic
 {
@@ -22,6 +23,10 @@ Packetizer::Packetizer(sim::Simulator &sim, const MachineConfig &cfg,
 {
     SHRIMP_CHECK_HOOK(
         check::SimChecker::instance().onPacketizerCreated(this));
+    SHRIMP_CHECK_HOOK(
+        raceActor_ = check::RaceDetector::instance().registerActor(
+            "node" + std::to_string(self) + ".snoop",
+            check::ActorKind::Snoop));
 }
 
 void
@@ -30,6 +35,11 @@ Packetizer::auWrite(const OptEntry &e, PAddr dest_addr, const void *data,
 {
     if (len == 0)
         return;
+
+    // The snoop logic captures the store off the memory bus in the same
+    // cycle the CPU makes it: a hardware handoff, not a race.
+    SHRIMP_CHECK_HOOK(check::RaceDetector::instance().handoff(
+        check::RaceDetector::instance().currentActor(), raceActor_));
 
     if (pending_) {
         bool consecutive = pending_->dst == e.destNode &&
@@ -106,6 +116,11 @@ Packetizer::flushPending()
         return;
     SHRIMP_CHECK_HOOK(
         check::SimChecker::instance().onShadowFlush(this, *pending_));
+    // Stamp the snoop path's clock: whoever receives this packet is
+    // ordered after every store that went into it.
+    SHRIMP_CHECK_HOOK(pending_->raceClock =
+                          check::RaceDetector::instance().snapshot(
+                              raceActor_));
     ++timerGen_; // cancel any armed timer
     ++packetsFormed_;
     statPacketsFormed_ += 1;

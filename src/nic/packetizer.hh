@@ -54,6 +54,12 @@ class Packetizer
 
     bool hasPending() const { return pending_.has_value(); }
 
+    NodeId self() const { return self_; }
+
+    /** Race-detector actor id of the snoop/combining path (noActor in
+     *  non-SHRIMP_CHECK builds). */
+    std::uint32_t raceActor() const { return raceActor_; }
+
     std::uint64_t packetsFormed() const { return packetsFormed_; }
     std::uint64_t writesCombined() const { return writesCombined_; }
     std::uint64_t timerFlushes() const { return timerFlushes_; }
@@ -69,6 +75,7 @@ class Packetizer
     sim::Channel<net::Packet> &outFifo_;
 
     std::optional<net::Packet> pending_;
+    std::uint32_t raceActor_ = 0xffffffffu; // check::noActor
     bool pendingTimerEnabled_ = false;
     std::uint64_t timerGen_ = 0;
 

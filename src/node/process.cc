@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "check/check.hh"
+#include "check/race.hh"
 
 namespace shrimp::node
 {
@@ -11,6 +13,10 @@ namespace shrimp::node
 Process::Process(Node &node, int pid)
     : node_(node), pid_(pid), as_(node.memory())
 {
+    SHRIMP_CHECK_HOOK(
+        raceActor_ = check::RaceDetector::instance().registerActor(
+            logging::format("node%u.p%d", unsigned(node.id()), pid),
+            check::ActorKind::Cpu));
 }
 
 VAddr
@@ -28,6 +34,18 @@ Process::poke(VAddr addr, const void *src, std::size_t n)
 void
 Process::peek(VAddr addr, void *dst, std::size_t n) const
 {
+    // Attributed (unlike poke): protocol layers model their CPU loads
+    // with peek, and a peek that observes a receive flag is exactly the
+    // poll the race detector turns into an ordering edge.
+    SHRIMP_RACE_SCOPE(raceActor_);
+    node_.memory().read(as_.translateRange(addr, n), dst, n);
+}
+
+void
+Process::debugPeek(VAddr addr, void *dst, std::size_t n) const
+{
+    // Backdoor like poke: an omniscient harness verification read,
+    // invisible to the race detector (no actor attribution).
     node_.memory().read(as_.translateRange(addr, n), dst, n);
 }
 
@@ -67,8 +85,12 @@ Process::write(VAddr dst, const void *src, std::size_t n)
             std::min({n - done, to_page, cfg.auCombineLimit});
         CacheMode mode = as_.cacheMode(va);
         co_await node_.cpu().use(node_.cpu().copyTime(chunk, mode));
-        node_.memory().write(pa, p + done, chunk);
-        node_.nic().snoopWrite(pa, p + done, chunk);
+        {
+            // Scope covers store + snoop but no co_await.
+            SHRIMP_RACE_SCOPE(raceActor_);
+            node_.memory().write(pa, p + done, chunk);
+            node_.nic().snoopWrite(pa, p + done, chunk);
+        }
         done += chunk;
     }
 }

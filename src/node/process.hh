@@ -40,6 +40,10 @@ class Process
     const MachineConfig &config() const { return node_.config(); }
     sim::Simulator &sim() { return node_.sim(); }
 
+    /** Race-detector actor id of this process's CPU accesses (only
+     *  meaningful in SHRIMP_CHECK builds; noActor otherwise). */
+    std::uint32_t raceActor() const { return raceActor_; }
+
     /** Allocate fresh page-aligned memory. */
     VAddr alloc(std::size_t bytes, CacheMode mode = CacheMode::WriteBack);
 
@@ -48,6 +52,10 @@ class Process
     void peek(VAddr addr, void *dst, std::size_t n) const;
     std::uint32_t peek32(VAddr addr) const;
     void poke32(VAddr addr, std::uint32_t v);
+    /** Like peek, but a pure harness backdoor: never attributed to this
+     *  process by the race detector. Use for omniscient verification
+     *  reads that model no CPU access of the simulated program. */
+    void debugPeek(VAddr addr, void *dst, std::size_t n) const;
 
     // ---- timed operations ---------------------------------------------
     /** Occupy the CPU for @p t ticks. */
@@ -96,6 +104,7 @@ class Process
     Node &node_;
     int pid_;
     mem::AddressSpace as_;
+    std::uint32_t raceActor_ = 0xffffffffu; // check::noActor
 };
 
 } // namespace shrimp::node

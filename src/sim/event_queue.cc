@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "check/check.hh"
+#include "check/race.hh"
 #include "sim/simulator.hh"
 
 namespace shrimp::sim
@@ -154,6 +155,12 @@ Simulator::run(std::uint64_t max_events)
         if (auto err = d.error())
             std::rethrow_exception(err);
     }
+    // The queue drained cleanly: every in-flight DMA, snoop and bus
+    // transaction has completed, so all race-detector actors are
+    // genuinely ordered with whatever runs next (post-run inspection,
+    // next phase of a benchmark).
+    if (queue_.empty())
+        SHRIMP_CHECK_HOOK(check::RaceDetector::instance().fenceAll());
     return n;
 }
 

@@ -1,6 +1,7 @@
 #include "sim/sync.hh"
 
 #include "check/check.hh"
+#include "check/race.hh"
 
 namespace shrimp::sim
 {
@@ -8,6 +9,10 @@ namespace shrimp::sim
 void
 Condition::notifyAll()
 {
+    // Release edge: whoever notifies publishes its history on this
+    // object (tasks resumed later can objAcquire it).
+    SHRIMP_CHECK_HOOK(check::RaceDetector::instance().objRelease(
+        this, check::RaceDetector::instance().currentActor()));
     // Move the list out first: a woken task may wait() again immediately
     // and must not be re-woken by this notification.
     std::vector<std::coroutine_handle<>> to_wake;
@@ -26,6 +31,8 @@ Condition::notifyAll()
 void
 Semaphore::release()
 {
+    SHRIMP_CHECK_HOOK(check::RaceDetector::instance().objRelease(
+        this, check::RaceDetector::instance().currentActor()));
     if (!waiters_.empty()) {
         auto h = waiters_.front();
         waiters_.pop_front();

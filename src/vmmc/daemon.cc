@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "check/check.hh"
+#include "check/race.hh"
 #include "vmmc/vmmc.hh"
 
 namespace shrimp::vmmc
@@ -128,6 +130,7 @@ Daemon::registerExport(ExportRecord rec)
     bool has_handler = static_cast<bool>(rec.handler);
     PAddr paddr = rec.paddr;
     std::size_t len = rec.len;
+    [[maybe_unused]] Endpoint *owner = rec.owner;
     if (!registry_.add(std::move(rec)))
         co_return Status::AlreadyExported;
     auto &ipt = node_.nic().ipt();
@@ -136,6 +139,12 @@ Daemon::registerExport(ExportRecord rec)
         ipt.setEnabled(p, true);
         if (has_handler)
             ipt.setInterrupt(p, true);
+        // Export-window clock: the exporter finished preparing the
+        // buffer before the window opened; deliveries join this.
+        SHRIMP_CHECK_HOOK(check::RaceDetector::instance().onIptEnable(
+            &node_.memory(), PAddr(p * cfg.pageBytes),
+            owner ? owner->proc().raceActor() : check::noActor,
+            node_.sim().now()));
     }
     co_return Status::Ok;
 }
@@ -170,6 +179,13 @@ Daemon::unexport(std::uint32_t key, int pid)
          p <= (rec->paddr + rec->len - 1) / cfg.pageBytes; ++p) {
         ipt.setEnabled(p, false);
         ipt.setInterrupt(p, false);
+        // Drain edge: the window closed only after in-flight packets
+        // drained, so the exporter is ordered after the last delivery
+        // and may reuse the buffer.
+        SHRIMP_CHECK_HOOK(check::RaceDetector::instance().onIptDisable(
+            &node_.memory(), PAddr(p * cfg.pageBytes),
+            rec->owner ? rec->owner->proc().raceActor() : check::noActor,
+            node_.sim().now()));
     }
     registry_.remove(key);
     co_return Status::Ok;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "check/check.hh"
+#include "check/race.hh"
 
 namespace shrimp::vmmc
 {
@@ -162,8 +164,16 @@ Endpoint::send(int handle, std::size_t dst_off, VAddr src, std::size_t len,
     // The two-access transfer-initiation sequence: programmed I/O to
     // addresses decoded by the network interface on the EISA bus.
     co_await proc_.compute(2 * cfg.eisaPioCost);
+    // The PIO initiation orders the engine after the CPU's buffer fill.
+    SHRIMP_CHECK_HOOK(check::RaceDetector::instance().handoff(
+        proc_.raceActor(), proc_.node().nic().duEngine().raceActor()));
     co_await proc_.node().nic().deliberateSend(rec->slot, dst_off, src_pa,
                                                len, notify);
+    // The blocking send completes when the last source byte has been
+    // read out: the CPU is ordered after the engine's DMA reads and may
+    // reuse the buffer.
+    SHRIMP_CHECK_HOOK(check::RaceDetector::instance().handoff(
+        proc_.raceActor(), proc_.node().nic().duEngine().raceActor()));
     co_return Status::Ok;
 }
 
@@ -208,6 +218,13 @@ Endpoint::bindAu(VAddr local, std::size_t len, int handle,
     }
     // The snoop logic must observe every store to the bound pages.
     proc_.as().setCacheMode(local, len, CacheMode::WriteThrough);
+    SHRIMP_CHECK_HOOK(
+        for (std::size_t i = 0; i < npages; ++i) {
+            check::RaceDetector::instance().onAuBind(
+                &proc_.node().memory(),
+                proc_.as().translate(local + VAddr(i * cfg.pageBytes)),
+                proc_.sim().now());
+        });
     bindings_.push_back(AuBinding{local, len, handle});
     stats_.counter("auBindings") += 1;
     co_return Status::Ok;
@@ -231,6 +248,8 @@ Endpoint::unbindAu(VAddr local, std::size_t len)
     for (std::size_t i = 0; i < len / cfg.pageBytes; ++i) {
         PAddr pa = proc_.as().translate(local + VAddr(i * cfg.pageBytes));
         opt.unbindPage(pa / cfg.pageBytes);
+        SHRIMP_CHECK_HOOK(check::RaceDetector::instance().onAuUnbind(
+            &proc_.node().memory(), pa));
     }
     proc_.as().setCacheMode(local, len, CacheMode::WriteBack);
     bindings_.erase(it);
@@ -264,6 +283,9 @@ Endpoint::noteImportRevoked(std::uint32_t slot)
                         PAddr pa = proc_.as().translate(
                             it->local + VAddr(i * cfg.pageBytes));
                         opt.unbindPage(pa / cfg.pageBytes);
+                        SHRIMP_CHECK_HOOK(
+                            check::RaceDetector::instance().onAuUnbind(
+                                &proc_.node().memory(), pa));
                     }
                     proc_.as().setCacheMode(it->local, it->len,
                                             CacheMode::WriteBack);
@@ -282,6 +304,12 @@ Endpoint::deliverNotification(const Notification &n,
 {
     stats_.counter("notifications") += 1;
     trace::instant(track_, "notification", proc_.sim().now());
+    // Notification handoff: the receiving process's handler runs after
+    // the delivering DMA (the current actor when this is reached through
+    // the incoming engine's notify path).
+    SHRIMP_CHECK_HOOK(check::RaceDetector::instance().handoff(
+        check::RaceDetector::instance().currentActor(),
+        proc_.raceActor()));
     notif_.deliver(*this, n, handler);
 }
 

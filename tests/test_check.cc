@@ -313,6 +313,152 @@ TEST_F(CheckTest, UnsequencedPacketSkipsOrderCheck)
     EXPECT_TRUE(checker().violations().empty());
 }
 
+// ---- DU packet shadow (uncombined single-transfer path) ----------------
+
+TEST_F(CheckTest, DuPacketMatchingSourcePasses)
+{
+    int pz = 0;
+    std::vector<std::uint8_t> bytes = {1, 2, 3, 4, 5, 6, 7, 8};
+    checker().onDuPacket(&pz, makePacket(1, 0x2000, bytes), bytes.data(),
+                         bytes.size());
+    EXPECT_TRUE(checker().violations().empty());
+}
+
+TEST_F(CheckTest, DuPacketPartialWordCaught)
+{
+    int pz = 0;
+    std::vector<std::uint8_t> bytes = {1, 2, 3, 4, 5, 6};
+    checker().onDuPacket(&pz, makePacket(1, 0x2000, bytes), bytes.data(),
+                         bytes.size());
+    EXPECT_TRUE(sawViolation("not a whole number of words"));
+}
+
+TEST_F(CheckTest, DuPacketPayloadMismatchCaught)
+{
+    int pz = 0;
+    std::vector<std::uint8_t> bytes = {1, 2, 3, 4};
+    std::vector<std::uint8_t> mem = {1, 2, 0xee, 4}; // source differs
+    checker().onDuPacket(&pz, makePacket(1, 0x2000, bytes), mem.data(),
+                         mem.size());
+    EXPECT_TRUE(sawViolation("DU shadow check"));
+}
+
+// ---- mesh: conservation, routing, order, credits -----------------------
+
+TEST_F(CheckTest, MeshCleanTransitPasses)
+{
+    int mesh = 0;
+    checker().onMeshCreated(&mesh);
+    checker().onMeshInject(&mesh, 0, 3, 2, 1);
+    checker().onMeshHop(&mesh, 1);
+    checker().onMeshHop(&mesh, 1);
+    checker().onMeshEject(&mesh, 3, 0, 3, 1);
+    // A second packet on the same pair, in order.
+    checker().onMeshInject(&mesh, 0, 3, 2, 2);
+    checker().onMeshHop(&mesh, 2);
+    checker().onMeshHop(&mesh, 2);
+    checker().onMeshEject(&mesh, 3, 0, 3, 2);
+    EXPECT_TRUE(checker().violations().empty());
+}
+
+TEST_F(CheckTest, MeshEjectOfNeverInjectedPacketCaught)
+{
+    int mesh = 0;
+    checker().onMeshCreated(&mesh);
+    checker().onMeshEject(&mesh, 3, 0, 3, 9);
+    EXPECT_TRUE(sawViolation("never injected"));
+}
+
+TEST_F(CheckTest, MeshDuplicateSeqCaught)
+{
+    int mesh = 0;
+    checker().onMeshCreated(&mesh);
+    checker().onMeshInject(&mesh, 0, 3, 2, 1);
+    checker().onMeshInject(&mesh, 1, 2, 1, 1);
+    EXPECT_TRUE(sawViolation("same sequence number"));
+}
+
+TEST_F(CheckTest, MeshMisrouteCaught)
+{
+    int mesh = 0;
+    checker().onMeshCreated(&mesh);
+    checker().onMeshInject(&mesh, 0, 3, 2, 1);
+    checker().onMeshHop(&mesh, 1);
+    checker().onMeshHop(&mesh, 1);
+    checker().onMeshEject(&mesh, 2, 0, 3, 1); // wrong node
+    EXPECT_TRUE(sawViolation("misrouted"));
+}
+
+TEST_F(CheckTest, MeshCreditConservationCaught)
+{
+    int mesh = 0;
+    checker().onMeshCreated(&mesh);
+    checker().onMeshInject(&mesh, 0, 3, 2, 1);
+    checker().onMeshHop(&mesh, 1); // only one of two traversals
+    checker().onMeshEject(&mesh, 3, 0, 3, 1);
+    EXPECT_TRUE(sawViolation("credit conservation"));
+}
+
+TEST_F(CheckTest, MeshPairOrderViolationCaught)
+{
+    int mesh = 0;
+    checker().onMeshCreated(&mesh);
+    checker().onMeshInject(&mesh, 0, 3, 2, 1);
+    checker().onMeshInject(&mesh, 0, 3, 2, 2);
+    for (int i = 0; i < 2; ++i) {
+        checker().onMeshHop(&mesh, 1);
+        checker().onMeshHop(&mesh, 2);
+    }
+    checker().onMeshEject(&mesh, 3, 0, 3, 2); // overtook seq 1
+    EXPECT_TRUE(sawViolation("sender-to-receiver order"));
+}
+
+TEST_F(CheckTest, MeshIndependentPairsMayInterleave)
+{
+    int mesh = 0;
+    checker().onMeshCreated(&mesh);
+    checker().onMeshInject(&mesh, 0, 3, 2, 1);
+    checker().onMeshInject(&mesh, 1, 3, 1, 2);
+    checker().onMeshHop(&mesh, 1);
+    checker().onMeshHop(&mesh, 1);
+    checker().onMeshHop(&mesh, 2);
+    // Different (src, dst) pairs: ejection order is unconstrained.
+    checker().onMeshEject(&mesh, 3, 1, 3, 2);
+    checker().onMeshEject(&mesh, 3, 0, 3, 1);
+    EXPECT_TRUE(checker().violations().empty());
+}
+
+// ---- router links: per-link per-source in-order -------------------------
+
+TEST_F(CheckTest, LinkInOrderTraversalsPass)
+{
+    int router = 0;
+    checker().onRouterCreated(&router);
+    checker().onLinkTraverse(&router, 4, 0, 0, 1);
+    checker().onLinkTraverse(&router, 4, 0, 0, 5); // gaps are fine
+    checker().onLinkTraverse(&router, 4, 1, 0, 2); // other link
+    checker().onLinkTraverse(&router, 4, 0, 2, 3); // other source
+    EXPECT_TRUE(checker().violations().empty());
+}
+
+TEST_F(CheckTest, LinkSeqRegressionCaught)
+{
+    int router = 0;
+    checker().onRouterCreated(&router);
+    checker().onLinkTraverse(&router, 4, 0, 0, 5);
+    checker().onLinkTraverse(&router, 4, 0, 0, 3); // went backwards
+    EXPECT_TRUE(sawViolation("per-link in-order delivery broken"));
+}
+
+TEST_F(CheckTest, LinkUnsequencedPacketsSkipped)
+{
+    int router = 0;
+    checker().onRouterCreated(&router);
+    checker().onLinkTraverse(&router, 4, 0, 0, 5);
+    checker().onLinkTraverse(&router, 4, 0, 0, 0); // seq 0: no check
+    EXPECT_TRUE(checker().violations().empty());
+}
+
 // ---- task registry (deadlock attribution) ------------------------------
 
 TEST_F(CheckTest, ActiveTaskReportNamesSuspendedTasks)

@@ -304,7 +304,10 @@ TEST_F(VmmcTest, InOrderDeliveryDataThenFlag)
 
             co_await b.proc().waitWord32Eq(rbuf + 1000, std::uint32_t(i));
             std::vector<std::uint8_t> got(900);
-            b.proc().peek(rbuf, got.data(), got.size());
+            // Omniscient check: the protocol reuses the buffer without a
+            // receiver ack, so an attributed read here would (correctly)
+            // race with the next iteration's delivery.
+            b.proc().debugPeek(rbuf, got.data(), got.size());
             EXPECT_EQ(got, data) << "iteration " << i;
         }
     }(a_, b_));
@@ -722,7 +725,10 @@ TEST(VmmcDrain, UnimportWaitsForPendingMessages)
         // After unimport returns, every byte must already be in place —
         // no further waiting allowed.
         std::vector<std::uint8_t> got(len);
-        b.proc().peek(rbuf, got.data(), got.size());
+        // Omniscient check: unimport drains on the sender side only, so
+        // the exporting process has no modelled ordering edge to read
+        // behind — use the harness backdoor.
+        b.proc().debugPeek(rbuf, got.data(), got.size());
         EXPECT_EQ(got, data);
         EXPECT_EQ(sys.machine().node(3).nic().incoming().bytesDelivered(),
                   len);

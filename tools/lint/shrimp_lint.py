@@ -16,6 +16,10 @@ Enforces simulator hygiene that generic tools miss:
      error instead of silent lost work.
   5. own-header-first: src/foo/bar.cc includes "foo/bar.hh" before
      anything else, keeping headers self-contained.
+  6. include order without a paired header: a src/ .cc file that has no
+     own header (so rule 5 does not apply) must keep all system
+     includes (<...>) before the first project include ("..."), the
+     repo's canonical block order.
 
 Usage: tools/lint/shrimp_lint.py [repo-root]
 Exit status 0 when clean, 1 with findings listed on stderr.
@@ -149,11 +153,27 @@ def check_header(path, expect_guard, raw_lines, code_lines):
             finding(path, no, "main() defined in a header")
 
 
+def check_include_order_no_own(path, raw_lines):
+    """Rule 6: without an own header leading the file, the canonical
+    block order is all <...> includes, then all "..." includes."""
+    seen_project = None
+    for no, raw in enumerate(raw_lines, 1):
+        if re.match(r'\s*#include\s+"', raw):
+            seen_project = no
+        elif re.match(r"\s*#include\s+<", raw) and seen_project:
+            finding(path, no,
+                    "system include after a project include (line "
+                    f"{seen_project}); in a .cc with no paired header, "
+                    "all <...> includes come first")
+            return
+
+
 def check_own_header_first(path, src_dir, raw_lines):
     rel = os.path.relpath(path, src_dir)
     own = os.path.splitext(rel)[0] + ".hh"
     if not os.path.exists(os.path.join(src_dir, own)):
-        return  # no paired header (nothing to order)
+        check_include_order_no_own(path, raw_lines)
+        return  # no paired header (nothing else to order)
     for raw in raw_lines:
         m = re.match(r'\s*#include\s+"([^"]+)"', raw)
         if m:
