@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "base/logging.hh"
 #include "base/trace.hh"
 
 namespace shrimp::bench
@@ -11,17 +12,35 @@ namespace shrimp::bench
 namespace
 {
 bool gCheckDeterminism = false;
+std::string gGoldenFile;       //!< verify hashes against this file
+std::string gUpdateGoldenFile; //!< append this bench's hashes here
+std::string gProgName;         //!< basename(argv[0]); keys golden rows
+
+std::string
+basenameOf(const char *path)
+{
+    const char *slash = std::strrchr(path, '/');
+    return slash ? slash + 1 : path;
+}
 } // namespace
 
 void
 parseBenchFlags(int &argc, char **argv)
 {
+    gProgName = basenameOf(argv[0]);
     int out = 1;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--check-determinism") == 0)
+        if (std::strcmp(argv[i], "--check-determinism") == 0) {
             gCheckDeterminism = true;
-        else
+        } else if (std::strncmp(argv[i], "--golden=", 9) == 0) {
+            gGoldenFile = argv[i] + 9;
+            gCheckDeterminism = true;
+        } else if (std::strncmp(argv[i], "--update-golden=", 16) == 0) {
+            gUpdateGoldenFile = argv[i] + 16;
+            gCheckDeterminism = true;
+        } else {
             argv[out++] = argv[i];
+        }
     }
     argc = out;
     argv[argc] = nullptr;
@@ -108,6 +127,31 @@ printTable(const std::string &header,
     std::printf("\n");
 }
 
+namespace
+{
+
+/** Golden rows for this binary: "curve/size" -> hash. Lines are
+ *  "<bench> <curve>/<size> <hash16>"; other benches' rows are skipped. */
+std::map<std::string, std::uint64_t>
+loadGolden(const std::string &path)
+{
+    std::map<std::string, std::uint64_t> golden;
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        fatal(logging::format("cannot open golden hash file '%s'",
+              path.c_str()));
+    char bench[128], key[256];
+    unsigned long long hash;
+    while (std::fscanf(f, "%127s %255s %llx", bench, key, &hash) == 3) {
+        if (gProgName == bench)
+            golden[key] = hash;
+    }
+    std::fclose(f);
+    return golden;
+}
+
+} // namespace
+
 int
 runDeterminismCheck(const std::vector<Curve> &curves,
                     const std::vector<std::size_t> &sizes,
@@ -116,6 +160,21 @@ runDeterminismCheck(const std::vector<Curve> &curves,
     auto &tracer = trace::Tracer::instance();
     bool was_enabled = tracer.enabled();
     tracer.setEnabled(true);
+
+    std::map<std::string, std::uint64_t> golden;
+    if (!gGoldenFile.empty()) {
+        golden = loadGolden(gGoldenFile);
+        std::printf("verifying trace hashes against %zu golden row(s) "
+                    "from %s\n", golden.size(), gGoldenFile.c_str());
+    }
+    std::FILE *update = nullptr;
+    if (!gUpdateGoldenFile.empty()) {
+        update = std::fopen(gUpdateGoldenFile.c_str(), "a");
+        if (!update)
+            fatal(logging::format(
+                "cannot append to golden hash file '%s'",
+                gUpdateGoldenFile.c_str()));
+    }
 
     std::printf("determinism check: running each point twice and "
                 "comparing trace-stream hashes\n");
@@ -146,8 +205,32 @@ runDeterminismCheck(const std::vector<Curve> &curves,
                             c.name.c_str(), size,
                             (unsigned long long)h1, n1);
             }
+            std::string key =
+                c.name + "/" + std::to_string(size);
+            if (!golden.empty() || !gGoldenFile.empty()) {
+                auto it = golden.find(key);
+                if (it == golden.end()) {
+                    ++failures;
+                    std::printf("  %s: NO GOLDEN ROW (got %016llx; "
+                                "regenerate with --update-golden)\n",
+                                key.c_str(), (unsigned long long)h1);
+                } else if (it->second != h1) {
+                    ++failures;
+                    std::printf("  %s: GOLDEN MISMATCH (golden %016llx "
+                                "vs run %016llx) — simulated behaviour "
+                                "changed\n",
+                                key.c_str(),
+                                (unsigned long long)it->second,
+                                (unsigned long long)h1);
+                }
+            }
+            if (update)
+                std::fprintf(update, "%s %s %016llx\n", gProgName.c_str(),
+                             key.c_str(), (unsigned long long)h1);
         }
     }
+    if (update)
+        std::fclose(update);
     tracer.clear();
     tracer.setEnabled(was_enabled);
 

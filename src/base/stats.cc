@@ -1,7 +1,9 @@
 #include "base/stats.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 
 namespace shrimp::stats
@@ -14,7 +16,12 @@ Distribution::bucketOf(double v)
 {
     if (!(v >= 1.0))
         return 0;
-    std::size_t i = 1 + std::size_t(std::floor(std::log2(v)));
+    // bit_width(uint64(v)) == 1 + floor(log2(v)) for v >= 1 (truncation
+    // stays within the same power-of-two bucket), without the libm call
+    // — sample() runs once per packet.
+    if (v >= 0x1p62)
+        return numBuckets - 1;
+    std::size_t i = std::size_t(std::bit_width(std::uint64_t(v)));
     return std::min(i, numBuckets - 1);
 }
 

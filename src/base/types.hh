@@ -44,16 +44,42 @@ constexpr Tick sec = Tick(1000) * 1000 * 1000;
 constexpr std::size_t KiB = 1024;
 constexpr std::size_t MiB = 1024 * 1024;
 
-/** Ticks needed to move @p bytes at @p mbPerSec (10^6 bytes/s, as the
- *  paper quotes bus bandwidths). Rounds up; zero bytes take zero time. */
+/** A bandwidth quoted in 10^6 bytes/s (the paper's unit) as a whole
+ *  number of bytes per second. Every calibrated rate in MachineConfig
+ *  (1.0, 21.0, 24.5, 25.0, 30.0, 175.0) is an exact multiple of
+ *  0.000001 MB/s, so the conversion is exact. */
+constexpr std::uint64_t
+bytesPerSec(double mbPerSec)
+{
+    return std::uint64_t(mbPerSec * 1e6 + 0.5);
+}
+
+/**
+ * Ticks needed to move @p bytes at @p bps bytes per second.
+ *
+ * Rounding rule (the only one in the simulator): a transfer occupies
+ * ceil(bytes * 10^9 / bps) integer nanoseconds, computed exactly in
+ * 128-bit arithmetic. Rounding up means a transfer never finishes
+ * early, and the error is bounded by 1 ns per transaction no matter
+ * how transfers are split or batched.
+ */
+constexpr Tick
+transferTime(std::size_t bytes, std::uint64_t bps)
+{
+    if (bytes == 0 || bps == 0)
+        return 0;
+    unsigned __int128 num =
+        (unsigned __int128)bytes * 1'000'000'000u + (bps - 1);
+    return Tick(num / bps);
+}
+
+/** Convenience overload for rates held as MB/s config doubles. */
 constexpr Tick
 transferTime(std::size_t bytes, double mbPerSec)
 {
-    if (bytes == 0 || mbPerSec <= 0.0)
+    if (mbPerSec <= 0.0)
         return 0;
-    double nsec = double(bytes) * 1000.0 / mbPerSec;
-    Tick t = Tick(nsec);
-    return (double(t) < nsec) ? t + 1 : t;
+    return transferTime(bytes, bytesPerSec(mbPerSec));
 }
 } // namespace units
 

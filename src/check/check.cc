@@ -134,6 +134,23 @@ SimChecker::describeActiveTasks(const void *sim) const
     return logging::format("%zu suspended task(s): ", n) + out;
 }
 
+std::string
+SimChecker::describeActiveTasks() const
+{
+    std::string out;
+    std::size_t n = 0;
+    for (const auto &[id, rec] : tasks_) {
+        if (n++ > 0)
+            out += ", ";
+        out += logging::format("'%s' (spawned at %llu ns)",
+                               rec.name.c_str(),
+                               (unsigned long long)rec.spawned);
+    }
+    if (n == 0)
+        return "no tasks registered with the checker";
+    return logging::format("%zu live task(s): ", n) + out;
+}
+
 void
 SimChecker::onSimulatorDestroyed(const void *sim)
 {

@@ -115,6 +115,11 @@ class SimChecker
      *  report appended to Simulator::runAll()'s panic message. */
     std::string describeActiveTasks(const void *sim) const;
 
+    /** All registered tasks of every simulator — the attribution
+     *  appended when an event is scheduled in the past (the queue does
+     *  not know which simulator the offender belongs to). */
+    std::string describeActiveTasks() const;
+
     /** Forget tasks belonging to a destroyed simulator. */
     void onSimulatorDestroyed(const void *sim);
 

@@ -21,23 +21,24 @@ AddressSpace::alloc(std::size_t bytes, CacheMode mode)
     std::size_t npages = (bytes + page - 1) / page;
     PAddr frame = mem_.allocFrames(npages);
     VAddr base = nextVAddr_;
+    PageNum first = base / page;
+    if (first + npages > pages_.size())
+        pages_.resize(first + npages, PageEntry{0, CacheMode::WriteBack,
+                                                false});
     for (std::size_t i = 0; i < npages; ++i) {
-        PageNum vpn = (base / page) + PageNum(i);
-        pages_[vpn] = PageEntry{PAddr(frame + i * page), mode};
+        pages_[first + i] =
+            PageEntry{PAddr(frame + i * page), mode, true};
         SHRIMP_CHECK_HOOK(check::RaceDetector::instance().onCacheMode(
-            &mem_, pages_[vpn].frame, mode, mem_.queue().now()));
+            &mem_, pages_[first + i].frame, mode, mem_.queue().now()));
     }
     nextVAddr_ += VAddr(npages * page);
     return base;
 }
 
-const AddressSpace::PageEntry &
-AddressSpace::entry(VAddr addr) const
+void
+AddressSpace::faultUnmapped(VAddr addr) const
 {
-    auto it = pages_.find(PageNum(addr / pageBytes()));
-    if (it == pages_.end())
-        panic(logging::format("unmapped virtual address 0x%x", addr));
-    return it->second;
+    panic(logging::format("unmapped virtual address 0x%x", addr));
 }
 
 bool
@@ -47,18 +48,13 @@ AddressSpace::mapped(VAddr addr, std::size_t len) const
         len = 1;
     PageNum first = addr / pageBytes();
     PageNum last = PageNum((std::uint64_t(addr) + len - 1) / pageBytes());
+    if (last >= pages_.size())
+        return false;
     for (PageNum vpn = first; vpn <= last; ++vpn) {
-        if (!pages_.count(vpn))
+        if (!pages_[vpn].valid)
             return false;
     }
     return true;
-}
-
-PAddr
-AddressSpace::translate(VAddr addr) const
-{
-    const PageEntry &pe = entry(addr);
-    return pe.frame + PAddr(addr % pageBytes());
 }
 
 PAddr
@@ -74,18 +70,12 @@ AddressSpace::translateRange(VAddr addr, std::size_t len) const
     PageNum last = PageNum((std::uint64_t(addr) + (len ? len : 1) - 1) /
                            pageBytes());
     for (PageNum vpn = first; vpn + 1 <= last; ++vpn) {
-        PAddr a = pages_.at(vpn).frame;
-        PAddr b = pages_.at(vpn + 1).frame;
+        PAddr a = pages_[vpn].frame;
+        PAddr b = pages_[vpn + 1].frame;
         if (b != a + PAddr(pageBytes()))
             panic("virtual range is not physically contiguous");
     }
     return base;
-}
-
-CacheMode
-AddressSpace::cacheMode(VAddr addr) const
-{
-    return entry(addr).mode;
 }
 
 void

@@ -14,7 +14,7 @@
 #define SHRIMP_MEM_ADDRESS_SPACE_HH
 
 #include <cstddef>
-#include <map>
+#include <vector>
 
 #include "base/config.hh"
 #include "base/types.hh"
@@ -38,7 +38,11 @@ class AddressSpace
     bool mapped(VAddr addr, std::size_t len) const;
 
     /** Translate one virtual address; panics when unmapped. */
-    PAddr translate(VAddr addr) const;
+    PAddr
+    translate(VAddr addr) const
+    {
+        return entry(addr).frame + PAddr(addr % pageBytes());
+    }
 
     /**
      * Translate a range; panics when unmapped. Because allocations are
@@ -48,7 +52,11 @@ class AddressSpace
     PAddr translateRange(VAddr addr, std::size_t len) const;
 
     /** Cache mode of the page containing @p addr. */
-    CacheMode cacheMode(VAddr addr) const;
+    CacheMode
+    cacheMode(VAddr addr) const
+    {
+        return entry(addr).mode;
+    }
 
     /** Change the cache mode of all pages covering [addr, addr+len). */
     void setCacheMode(VAddr addr, std::size_t len, CacheMode mode);
@@ -62,12 +70,28 @@ class AddressSpace
     {
         PAddr frame;
         CacheMode mode;
+        bool valid;
     };
 
-    const PageEntry &entry(VAddr addr) const;
+    /**
+     * The page table is a dense vector indexed by virtual page number:
+     * every translate/cacheMode on the data path is one bounds test and
+     * one array load. Allocations grow the virtual space contiguously
+     * from page 1, so the vector has no meaningful holes.
+     */
+    const PageEntry &
+    entry(VAddr addr) const
+    {
+        PageNum vpn = addr / pageBytes();
+        if (vpn >= pages_.size() || !pages_[vpn].valid) [[unlikely]]
+            faultUnmapped(addr);
+        return pages_[vpn];
+    }
+
+    [[noreturn]] void faultUnmapped(VAddr addr) const;
 
     Memory &mem_;
-    std::map<PageNum, PageEntry> pages_;
+    std::vector<PageEntry> pages_;
     VAddr nextVAddr_;
 };
 

@@ -12,7 +12,7 @@ namespace shrimp::mem
 Memory::Memory(sim::EventQueue &queue, std::size_t bytes,
                std::size_t page_bytes, std::string name)
     : queue_(queue), data_(bytes, 0), pageBytes_(page_bytes),
-      name_(std::move(name)), writeCond_(queue)
+      name_(std::move(name)), writeWaiters_(queue)
 {
     if (page_bytes == 0 || bytes % page_bytes != 0)
         fatal("memory size must be a multiple of the page size");
@@ -44,7 +44,7 @@ Memory::write(PAddr addr, const void *src, std::size_t n)
     if (n > 0)
         std::memcpy(data_.data() + addr, src, n);
     ++writeCount_;
-    writeCond_.notifyAll();
+    notifyWrite(addr, n);
 }
 
 void
@@ -57,6 +57,9 @@ Memory::read(PAddr addr, void *dst, std::size_t n) const
         std::memcpy(dst, data_.data() + addr, n);
 }
 
+#ifdef SHRIMP_CHECK
+// Unchecked builds define these inline in the header; here the generic
+// paths run so every word access reaches the race detector's hooks.
 std::uint32_t
 Memory::read32(PAddr addr) const
 {
@@ -70,6 +73,7 @@ Memory::write32(PAddr addr, std::uint32_t value)
 {
     write(addr, &value, sizeof(value));
 }
+#endif // SHRIMP_CHECK
 
 PAddr
 Memory::allocFrames(std::size_t pages)

@@ -2,9 +2,10 @@
  * @file
  * Memory: one node's physical memory. Holds real bytes (protocols in the
  * libraries move actual data, which tests verify end-to-end) and supports
- * write watchpoints: a task can sleep until *any* write lands, then
- * re-check the flag it is polling. Timing is charged by the components
- * that access memory (CPU, DMA engines), not here.
+ * write watchpoints: a task can sleep until a write lands in the byte
+ * range it is polling (or anywhere, for multi-location scans), then
+ * re-check the flag. Timing is charged by the components that access
+ * memory (CPU, DMA engines), not here.
  */
 
 #ifndef SHRIMP_MEM_MEMORY_HH
@@ -12,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -52,8 +54,22 @@ class Memory
     /**
      * Suspend until the next write to this memory (any address).
      * Users poll a predicate:  while (!flagSet()) co_await m.waitWrite();
+     * Pollers that watch a known location should use the targeted
+     * overload instead — it skips the wakeup entirely for unrelated
+     * writes.
      */
-    sim::Condition::WaitAwaiter waitWrite() { return writeCond_.wait(); }
+    sim::AddrCondition::WaitAwaiter
+    waitWrite()
+    {
+        return writeWaiters_.wait(0, data_.size());
+    }
+
+    /** Suspend until a write overlapping [addr, addr+n) lands. */
+    sim::AddrCondition::WaitAwaiter
+    waitWrite(PAddr addr, std::size_t n)
+    {
+        return writeWaiters_.wait(addr, std::uint64_t(addr) + n);
+    }
 
     /**
      * Allocate @p pages physically-contiguous page frames.
@@ -71,14 +87,52 @@ class Memory
   private:
     void checkRange(PAddr addr, std::size_t n) const;
 
+    /** Wake pollers watching bytes of [addr, addr+n); no-op when nobody
+     *  is waiting, so un-watched writes pay nothing for the mechanism. */
+    void
+    notifyWrite(PAddr addr, std::size_t n)
+    {
+        if (writeWaiters_.hasWaiters())
+            writeWaiters_.notifyRange(addr, std::uint64_t(addr) + n);
+    }
+
     sim::EventQueue &queue_;
     std::vector<std::uint8_t> data_;
     std::size_t pageBytes_;
     std::string name_;
-    sim::Condition writeCond_;
+    sim::AddrCondition writeWaiters_;
     PAddr nextFrame_ = 0;
     std::uint64_t writeCount_ = 0;
 };
+
+#ifndef SHRIMP_CHECK
+// Word-access fast path: the flag words the libraries poll and publish
+// are all accessed through these, so in unchecked builds they skip the
+// generic read()/write() double dispatch (range check + hook + memcpy
+// call) for a bounds test and a fixed-size copy. Checked builds keep the
+// generic path so the race detector sees every access.
+
+inline std::uint32_t
+Memory::read32(PAddr addr) const
+{
+    if (std::size_t(addr) + sizeof(std::uint32_t) > data_.size())
+        [[unlikely]]
+        checkRange(addr, sizeof(std::uint32_t));
+    std::uint32_t v;
+    std::memcpy(&v, data_.data() + addr, sizeof(v));
+    return v;
+}
+
+inline void
+Memory::write32(PAddr addr, std::uint32_t value)
+{
+    if (std::size_t(addr) + sizeof(value) > data_.size()) [[unlikely]]
+        checkRange(addr, sizeof(value));
+    std::memcpy(data_.data() + addr, &value, sizeof(value));
+    ++writeCount_;
+    notifyWrite(addr, sizeof(value));
+}
+#endif // !SHRIMP_CHECK
 
 } // namespace shrimp::mem
 

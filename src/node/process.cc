@@ -142,7 +142,7 @@ Process::waitWord32(VAddr addr, std::function<bool(std::uint32_t)> pred)
                 co_await sim::Delay{sim().queue(), cfg.wtReceivePenalty};
             co_return v;
         }
-        co_await node_.memory().waitWrite();
+        co_await sleepUntilWrite(addr, sizeof(std::uint32_t));
     }
 }
 
@@ -158,6 +158,27 @@ Process::pollSleep()
 }
 
 sim::Task<>
+Process::pollSleep(VAddr addr, std::size_t n)
+{
+    // Targeted variant for callers whose rescan only reads
+    // [addr, addr+n): unrelated writes leave the task asleep.
+    co_await sleepUntilWrite(addr, n);
+    co_await node_.cpu().use(config().pollCheckCost);
+}
+
+sim::AddrCondition::WaitAwaiter
+Process::sleepUntilWrite(VAddr addr, std::size_t n)
+{
+    // The knob picks the wakeup model: targeted waiters sleep on the
+    // polled bytes; the calibrated default re-checks after every write
+    // to node memory (see MachineConfig::targetedWakeups).
+    mem::Memory &m = node_.memory();
+    if (config().targetedWakeups)
+        return m.waitWrite(as_.translateRange(addr, n), n);
+    return m.waitWrite();
+}
+
+sim::Task<>
 Process::detectPenalty(VAddr addr)
 {
     if (as_.cacheMode(addr) != CacheMode::Uncached)
@@ -165,17 +186,34 @@ Process::detectPenalty(VAddr addr)
 }
 
 sim::Task<std::uint32_t>
+Process::pollWord32(VAddr addr, std::uint32_t ref, bool want_equal)
+{
+    // Same loop as waitWord32 (kept in sync), minus the type-erased
+    // predicate — Eq/Ne cover every poll in the libraries.
+    const MachineConfig &cfg = config();
+    for (;;) {
+        co_await node_.cpu().use(cfg.pollCheckCost);
+        std::uint32_t v = peek32(addr);
+        if ((v == ref) == want_equal) {
+            if (as_.cacheMode(addr) != CacheMode::Uncached)
+                co_await sim::Delay{sim().queue(), cfg.wtReceivePenalty};
+            co_return v;
+        }
+        co_await sleepUntilWrite(addr, sizeof(std::uint32_t));
+    }
+}
+
+sim::Task<std::uint32_t>
 Process::waitWord32Ne(VAddr addr, std::uint32_t not_value)
 {
-    co_return co_await waitWord32(
-        addr, [not_value](std::uint32_t v) { return v != not_value; });
+    // Forward the task directly: no wrapper coroutine frame per call.
+    return pollWord32(addr, not_value, false);
 }
 
 sim::Task<std::uint32_t>
 Process::waitWord32Eq(VAddr addr, std::uint32_t value)
 {
-    co_return co_await waitWord32(
-        addr, [value](std::uint32_t v) { return v == value; });
+    return pollWord32(addr, value, true);
 }
 
 } // namespace shrimp::node

@@ -23,6 +23,7 @@
 #include "base/config.hh"
 #include "mem/address_space.hh"
 #include "node/node.hh"
+#include "sim/sync.hh"
 #include "sim/task.hh"
 
 namespace shrimp::node
@@ -96,11 +97,29 @@ class Process
      */
     sim::Task<> pollSleep();
 
+    /**
+     * Targeted pollSleep: sleep until a write overlaps [addr, addr+n).
+     * Only correct when the caller's rescan reads nothing outside that
+     * range; scans over several buffers keep the untargeted form.
+     */
+    sim::Task<> pollSleep(VAddr addr, std::size_t n);
+
     /** Charge the cache-invalidation detection penalty for data that
      *  just arrived at @p addr (no charge for uncached pages). */
     sim::Task<> detectPenalty(VAddr addr);
 
   private:
+    /** Shared loop behind waitWord32Eq/Ne: the equality/inequality
+     *  predicate is two scalars, not a std::function, because these run
+     *  once per poll check on the hottest receive path. */
+    sim::Task<std::uint32_t> pollWord32(VAddr addr, std::uint32_t ref,
+                                        bool want_equal);
+
+    /** Watchpoint awaiter for a poller that rescans [addr, addr+n):
+     *  range-keyed when config().targetedWakeups, any-write otherwise. */
+    sim::AddrCondition::WaitAwaiter sleepUntilWrite(VAddr addr,
+                                                    std::size_t n);
+
     Node &node_;
     int pid_;
     mem::AddressSpace as_;

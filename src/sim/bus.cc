@@ -7,7 +7,8 @@ namespace shrimp::sim
 {
 
 Bus::Bus(EventQueue &queue, double mb_per_sec, std::string name)
-    : queue_(queue), bw_(mb_per_sec), lock_(queue, 1),
+    : queue_(queue), bw_(mb_per_sec), bps_(units::bytesPerSec(mb_per_sec)),
+      lock_(queue, 1),
       stats_(std::move(name)), track_(trace::track(stats_.name())),
       statTransactions_(stats_.counter("transactions")),
       statBytes_(stats_.counter("bytes")),
@@ -22,7 +23,7 @@ Bus::Bus(EventQueue &queue, double mb_per_sec, std::string name)
 Tick
 Bus::occupancy(std::size_t bytes, Tick setup) const
 {
-    return setup + units::transferTime(bytes, bw_);
+    return setup + units::transferTime(bytes, bps_);
 }
 
 Task<>

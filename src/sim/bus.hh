@@ -49,6 +49,7 @@ class Bus
   private:
     EventQueue &queue_;
     double bw_;
+    std::uint64_t bps_; //!< bw_ in whole bytes/s; see units::transferTime
     Semaphore lock_;
     Tick busyTime_ = 0;
     std::uint64_t bytes_ = 0;

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "base/logging.hh"
@@ -18,35 +19,207 @@ EventQueue::EventQueue()
 EventQueue::~EventQueue()
 {
     SHRIMP_CHECK_HOOK(check::SimChecker::instance().onQueueDestroyed(this));
+    // Destroy the callables of events that never ran (a deadlocked or
+    // abandoned simulation); the pool blocks free themselves.
+    while (EventNode *n = popEarliest()) {
+        if (n->destroy)
+            n->destroy(*n);
+    }
+}
+
+EventQueue::EventNode *
+EventQueue::allocNode()
+{
+    if (freeList_) {
+        EventNode *n = freeList_;
+        freeList_ = n->next;
+        return n;
+    }
+    auto block = std::make_unique<EventNode[]>(nodesPerBlock);
+    nodesAllocated_ += nodesPerBlock;
+    // Node 0 is returned; the rest seed the free list.
+    for (std::size_t i = nodesPerBlock - 1; i >= 1; --i) {
+        block[i].next = freeList_;
+        freeList_ = &block[i];
+    }
+    EventNode *n = &block[0];
+    blocks_.push_back(std::move(block));
+    return n;
 }
 
 void
-EventQueue::schedule(Tick when, std::function<void()> fn)
+EventQueue::freeNode(EventNode *n)
 {
-    if (when < now_)
-        panic("event scheduled in the past");
-    heap_.push(Event{when, nextSeq_++, std::move(fn)});
+    n->next = freeList_;
+    freeList_ = n;
+}
+
+EventQueue::EventNode *
+EventQueue::prepare(Tick when)
+{
+    if (when < now_) {
+        std::string msg = logging::format(
+            "event scheduled in the past: when=%llu ns < now=%llu ns "
+            "(would have been seq %llu; %zu event(s) pending)",
+            (unsigned long long)when, (unsigned long long)now_,
+            (unsigned long long)nextSeq_, size_);
+        SHRIMP_CHECK_HOOK(
+            msg += "; " +
+                   check::SimChecker::instance().describeActiveTasks());
+        panic(msg);
+    }
+    EventNode *n = allocNode();
+    n->when = when;
+    n->seq = nextSeq_++;
+    n->next = nullptr;
+    return n;
 }
 
 void
-EventQueue::scheduleIn(Tick delay, std::function<void()> fn)
+EventQueue::bitSet(std::size_t idx)
 {
-    schedule(now_ + delay, std::move(fn));
+    bits_[idx >> 6] |= std::uint64_t(1) << (idx & 63);
+    summary_ |= std::uint64_t(1) << (idx >> 6);
+}
+
+void
+EventQueue::bitClear(std::size_t idx)
+{
+    std::uint64_t &w = bits_[idx >> 6];
+    w &= ~(std::uint64_t(1) << (idx & 63));
+    if (w == 0)
+        summary_ &= ~(std::uint64_t(1) << (idx >> 6));
+}
+
+void
+EventQueue::enqueue(EventNode *n)
+{
+    ++size_;
+    if (n->when - now_ < wheelTicks) {
+        std::size_t idx = std::size_t(n->when) & (numBuckets - 1);
+        Bucket &b = wheel_[idx];
+        if (!b.head) {
+            b.head = b.tail = n;
+            bitSet(idx);
+        } else {
+            b.tail->next = n;
+            b.tail = n;
+        }
+        ++wheelCount_;
+        ++wheelScheduled_;
+    } else {
+        heap_.push_back(n);
+        std::push_heap(heap_.begin(), heap_.end(), NodeLater{});
+        ++heapScheduled_;
+    }
+}
+
+Tick
+EventQueue::earliestWheelTick() const
+{
+    if (wheelCount_ == 0)
+        return maxTick;
+    // All wheel residents live in [now_, now_ + wheelTicks): scan the
+    // bucket bitmap from now_'s slot, wrapping once. The summary word
+    // (one bit per 64 buckets) keeps the scan to a handful of word ops.
+    const std::size_t start = std::size_t(now_) & (numBuckets - 1);
+    std::size_t word = start >> 6;
+    const unsigned bit = unsigned(start & 63);
+
+    // Partial first word: bits at or after `start`.
+    std::uint64_t w = bits_[word] & (~std::uint64_t(0) << bit);
+    std::size_t idx;
+    if (w) {
+        idx = (word << 6) + std::size_t(__builtin_ctzll(w));
+        std::size_t d = (idx - start) & (numBuckets - 1);
+        return now_ + Tick(d);
+    }
+    // Remaining words, wrapping, via the summary bitmap.
+    for (std::size_t step = 1; step <= bitsWords; ++step) {
+        std::size_t g = (word + step) & (bitsWords - 1);
+        if (!(summary_ & (std::uint64_t(1) << g)))
+            continue;
+        std::uint64_t v = bits_[g];
+        if (g == word) // wrapped to the first word: bits before `start`
+            v &= ~(~std::uint64_t(0) << bit);
+        if (!v)
+            continue;
+        idx = (g << 6) + std::size_t(__builtin_ctzll(v));
+        std::size_t d = (idx - start) & (numBuckets - 1);
+        return now_ + Tick(d);
+    }
+    return maxTick; // unreachable while wheelCount_ > 0
+}
+
+EventQueue::EventNode *
+EventQueue::peekEarliest() const
+{
+    EventNode *heap_top = heap_.empty() ? nullptr : heap_.front();
+    if (wheelCount_ == 0)
+        return heap_top;
+    Tick wt = earliestWheelTick();
+    EventNode *wheel_head = wheel_[std::size_t(wt) & (numBuckets - 1)].head;
+    if (!heap_top)
+        return wheel_head;
+    if (wt != heap_top->when)
+        return wt < heap_top->when ? wheel_head : heap_top;
+    return wheel_head->seq < heap_top->seq ? wheel_head : heap_top;
+}
+
+EventQueue::EventNode *
+EventQueue::popEarliest()
+{
+    EventNode *n = peekEarliest();
+    if (!n)
+        return nullptr;
+    if (!heap_.empty() && heap_.front() == n) {
+        std::pop_heap(heap_.begin(), heap_.end(), NodeLater{});
+        heap_.pop_back();
+    } else {
+        std::size_t idx = std::size_t(n->when) & (numBuckets - 1);
+        Bucket &b = wheel_[idx];
+        b.head = n->next;
+        if (!b.head) {
+            b.tail = nullptr;
+            bitClear(idx);
+        }
+        --wheelCount_;
+    }
+    --size_;
+    return n;
+}
+
+Tick
+EventQueue::nextWhen() const
+{
+    const EventNode *n = peekEarliest();
+    return n ? n->when : maxTick;
 }
 
 bool
 EventQueue::runOne()
 {
-    if (heap_.empty())
+    EventNode *n = popEarliest();
+    if (!n)
         return false;
-    // Copy out; the callback may schedule more events (reallocating the
-    // heap) or even recursively inspect the queue.
-    Event ev = heap_.top();
-    heap_.pop();
     SHRIMP_CHECK_HOOK(check::SimChecker::instance().onEventRun(
-        this, ev.when, ev.seq, now_));
-    now_ = ev.when;
-    ev.fn();
+        this, n->when, n->seq, now_));
+    now_ = n->when;
+    // The callable runs with its node already unlinked, so it may
+    // schedule freely (including for the current tick). Destruction and
+    // pool release happen even if it throws (checker errors propagate).
+    struct Release
+    {
+        EventQueue &q;
+        EventNode *n;
+        ~Release()
+        {
+            if (n->destroy)
+                n->destroy(*n);
+            q.freeNode(n);
+        }
+    } release{*this, n};
+    n->invoke(*n);
     return true;
 }
 
@@ -65,7 +238,7 @@ std::uint64_t
 EventQueue::runUntil(Tick until, std::uint64_t max_events)
 {
     std::uint64_t n = 0;
-    while (!heap_.empty() && heap_.top().when <= until) {
+    while (size_ != 0 && nextWhen() <= until) {
         runOne();
         if (++n > max_events)
             panic("event limit exceeded; runaway simulation?");

@@ -73,7 +73,9 @@ class Simulator
   private:
     struct Detached
     {
-        struct promise_type
+        // The wrapper's own frame recycles through the arena too — one
+        // is created per spawn, which the benches do in their loops.
+        struct promise_type : detail::RecycledFrame
         {
             Simulator &sim;
 

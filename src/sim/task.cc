@@ -1,0 +1,82 @@
+#include "sim/task.hh"
+
+namespace shrimp::sim::detail
+{
+
+namespace
+{
+
+/** Free node threaded through recycled frames (the frame's first bytes
+ *  are dead storage while it sits on the list). */
+struct FreeNode
+{
+    FreeNode *next;
+};
+
+struct ArenaState
+{
+    FreeNode *lists[FrameArena::maxBytes / FrameArena::granule] = {};
+    FrameArena::Stats stats;
+};
+
+ArenaState &
+state()
+{
+    // thread_local function-scope: constructed on first use per thread,
+    // alive until thread exit, so frames freed during static teardown
+    // (leaked-frame sweeps) still find their list.
+    thread_local ArenaState s;
+    return s;
+}
+
+constexpr std::size_t
+classOf(std::size_t bytes)
+{
+    return (bytes + FrameArena::granule - 1) / FrameArena::granule - 1;
+}
+
+} // namespace
+
+void *
+FrameArena::allocate(std::size_t bytes)
+{
+    if (bytes == 0)
+        bytes = 1;
+    if (bytes > maxBytes) {
+        ++state().stats.oversize;
+        return ::operator new(bytes);
+    }
+    ArenaState &s = state();
+    std::size_t cls = classOf(bytes);
+    if (FreeNode *n = s.lists[cls]) {
+        s.lists[cls] = n->next;
+        ++s.stats.reused;
+        return n;
+    }
+    ++s.stats.carved;
+    return ::operator new((cls + 1) * granule);
+}
+
+void
+FrameArena::deallocate(void *p, std::size_t bytes) noexcept
+{
+    if (bytes == 0)
+        bytes = 1;
+    if (bytes > maxBytes) {
+        ::operator delete(p);
+        return;
+    }
+    ArenaState &s = state();
+    std::size_t cls = classOf(bytes);
+    auto *n = static_cast<FreeNode *>(p);
+    n->next = s.lists[cls];
+    s.lists[cls] = n;
+}
+
+FrameArena::Stats
+FrameArena::stats()
+{
+    return state().stats;
+}
+
+} // namespace shrimp::sim::detail

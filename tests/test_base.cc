@@ -115,6 +115,39 @@ TEST(Units, TransferTimeScalesWithBandwidth)
     EXPECT_NEAR(double(slow), 2.0 * double(fast), 2.0);
 }
 
+TEST(Units, BytesPerSecIsExactForEveryCalibratedRate)
+{
+    // All the MB/s figures MachineConfig carries are exact multiples of
+    // 1 byte/s, so the double -> integer conversion must be lossless.
+    EXPECT_EQ(units::bytesPerSec(1.0), 1'000'000u);
+    EXPECT_EQ(units::bytesPerSec(21.0), 21'000'000u);
+    EXPECT_EQ(units::bytesPerSec(24.5), 24'500'000u);
+    EXPECT_EQ(units::bytesPerSec(25.0), 25'000'000u);
+    EXPECT_EQ(units::bytesPerSec(30.0), 30'000'000u);
+    EXPECT_EQ(units::bytesPerSec(175.0), 175'000'000u);
+}
+
+TEST(Units, TransferTimePinsTheRoundingRule)
+{
+    // The one rounding rule: ceil(bytes * 1e9 / bytesPerSec), exact in
+    // 128-bit integers. Pin one value per calibrated rate; any change
+    // here shifts every simulated figure.
+    EXPECT_EQ(units::transferTime(std::size_t(1), 175.0), 6u); // 5.71..
+    EXPECT_EQ(units::transferTime(std::size_t(528), 175.0), 3018u);
+    EXPECT_EQ(units::transferTime(std::size_t(4096), 24.5), 167184u);
+    EXPECT_EQ(units::transferTime(std::size_t(49), 24.5), 2000u); // exact
+    EXPECT_EQ(units::transferTime(std::size_t(4096), 1.0), 4'096'000u);
+    MachineConfig cfg;
+    // The CPU copy-bandwidth paths run through the same rule.
+    EXPECT_EQ(units::transferTime(std::size_t(1024), cfg.copyBwWriteBack),
+              34134u); // 34133.33..
+    EXPECT_EQ(units::transferTime(std::size_t(1024),
+                                  cfg.copyBwWriteThrough),
+              48762u); // 48761.90..
+    EXPECT_EQ(units::transferTime(std::size_t(1024), cfg.copyBwUncached),
+              40960u); // exact
+}
+
 TEST(Config, DefaultValidates)
 {
     MachineConfig cfg;

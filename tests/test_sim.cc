@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+
 #include "base/logging.hh"
 #include "sim/bus.hh"
 #include "sim/simulator.hh"
@@ -59,6 +62,21 @@ TEST(EventQueue, SchedulingInThePastPanics)
     q.schedule(100, [] {});
     q.run();
     EXPECT_THROW(q.schedule(50, [] {}), PanicError);
+}
+
+TEST(EventQueue, PastSchedulePanicNamesBothTicks)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.run();
+    try {
+        q.schedule(50, [] {});
+        FAIL() << "expected a panic";
+    } catch (const PanicError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("when=50"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("now=100"), std::string::npos) << msg;
+    }
 }
 
 TEST(EventQueue, RunUntilStopsAtBoundary)
@@ -385,6 +403,187 @@ TEST(TaskSemantics, MoveAssignReleasesOldFrame)
     a = std::move(b); // old frame of a destroyed; a now holds b's
     EXPECT_TRUE(a.valid());
     EXPECT_FALSE(b.valid());
+}
+
+// ---- event-core fast path (timing wheel + node pool) -------------------
+
+TEST(EventQueueCore, WheelAndOverflowHeapInterleaveInExactOrder)
+{
+    EventQueue q;
+    // Deterministic scramble spanning several wheel horizons
+    // (wheelTicks = 4096): wheel and overflow-heap residents must pop
+    // in bit-exact (when, schedule-order) order.
+    std::vector<std::pair<Tick, int>> scheduled;
+    std::vector<std::pair<Tick, int>> fired;
+    std::uint64_t x = 0x2545f4914f6cdd1dull;
+    for (int i = 0; i < 2000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        Tick when = Tick((x >> 33) % (EventQueue::wheelTicks * 5));
+        q.schedule(when, [&fired, when, i] { fired.push_back({when, i}); });
+        scheduled.push_back({when, i});
+    }
+    q.run();
+    std::stable_sort(scheduled.begin(), scheduled.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    EXPECT_EQ(fired, scheduled);
+}
+
+TEST(EventQueueCore, SameBucketDifferentEpochOrdersByTime)
+{
+    EventQueue q;
+    // All three land on the same wheel index (when mod 4096) but in
+    // different epochs; later epochs must wait in the overflow heap.
+    std::vector<int> order;
+    q.schedule(10 + 2 * EventQueue::wheelTicks, [&] { order.push_back(2); });
+    q.schedule(10, [&] { order.push_back(0); });
+    q.schedule(10 + EventQueue::wheelTicks, [&] { order.push_back(1); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_GT(q.heapScheduled(), 0u);
+}
+
+TEST(EventQueueCore, SteadyStateSchedulingReusesPooledNodes)
+{
+    EventQueue q;
+    int fired = 0;
+    std::uint64_t after_first = 0;
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 1000; ++i)
+            q.scheduleIn(Tick(1 + i % 7), [&fired] { ++fired; });
+        q.run();
+        if (round == 0)
+            after_first = q.nodesAllocated();
+        else
+            EXPECT_EQ(q.nodesAllocated(), after_first)
+                << "round " << round << " grew the node pool";
+    }
+    EXPECT_EQ(fired, 5000);
+    EXPECT_EQ(q.heapCallables(), 0u); // small captures stay inline
+}
+
+TEST(EventQueueCore, OversizedCallableFallsBackToHeapAndCounts)
+{
+    EventQueue q;
+    std::array<std::uint64_t, 16> big{}; // 128 bytes > inline 48
+    big[15] = 7;
+    std::uint64_t got = 0;
+    q.schedule(1, [big, &got] { got = big[15]; });
+    EXPECT_EQ(q.heapCallables(), 1u);
+    q.run();
+    EXPECT_EQ(got, 7u);
+}
+
+TEST(FrameArena, RecyclesCoroutineFrames)
+{
+    auto before = detail::FrameArena::stats();
+    Simulator s;
+    for (int i = 0; i < 50; ++i) {
+        s.spawn([](Simulator &s) -> Task<> {
+            co_await Delay{s.queue(), 1};
+        }(s));
+        s.runAll();
+    }
+    auto after = detail::FrameArena::stats();
+    // Identical frame shapes every iteration: after the first spawn the
+    // arena serves every frame from a free list.
+    EXPECT_GE(after.reused - before.reused, 50u);
+    EXPECT_LE(after.carved - before.carved, 4u);
+}
+
+// ---- address-range-keyed wakeups ---------------------------------------
+
+TEST(AddrCondition, WakesOnlyOverlappingWaiters)
+{
+    Simulator s;
+    AddrCondition c(s.queue());
+    std::vector<std::pair<int, Tick>> woke;
+    auto waiter = [](Simulator &s, AddrCondition &c,
+                     std::vector<std::pair<int, Tick>> &woke, int id,
+                     std::uint64_t lo, std::uint64_t hi) -> Task<> {
+        co_await c.wait(lo, hi);
+        woke.push_back({id, s.now()});
+    };
+    s.spawn(waiter(s, c, woke, 0, 0, 4));
+    s.spawn(waiter(s, c, woke, 1, 8, 12));
+    s.queue().scheduleIn(10, [&] { c.notifyRange(3, 5); }); // hits [0,4)
+    s.queue().scheduleIn(20, [&] { c.notifyRange(8, 9); }); // hits [8,12)
+    s.runAll();
+    ASSERT_EQ(woke.size(), 2u);
+    EXPECT_EQ(woke[0], (std::pair<int, Tick>{0, 10}));
+    EXPECT_EQ(woke[1], (std::pair<int, Tick>{1, 20}));
+}
+
+TEST(AddrCondition, RangesAreHalfOpen)
+{
+    Simulator s;
+    AddrCondition c(s.queue());
+    Tick woke_at = 0;
+    s.spawn([](Simulator &s, AddrCondition &c, Tick &woke_at) -> Task<> {
+        co_await c.wait(4, 8);
+        woke_at = s.now();
+    }(s, c, woke_at));
+    s.queue().scheduleIn(10, [&] { c.notifyRange(0, 4); }); // ends at lo
+    s.queue().scheduleIn(20, [&] { c.notifyRange(8, 12); }); // starts at hi
+    s.queue().scheduleIn(30, [&] { c.notifyRange(7, 8); }); // last byte
+    s.runAll();
+    EXPECT_EQ(woke_at, 30u);
+}
+
+TEST(AddrCondition, OverlappingWaitersWakeInWaitOrder)
+{
+    Simulator s;
+    AddrCondition c(s.queue());
+    std::vector<int> order;
+    auto waiter = [](AddrCondition &c, std::vector<int> &order,
+                     int id) -> Task<> {
+        co_await c.wait(0, 64);
+        order.push_back(id);
+    };
+    for (int id = 0; id < 4; ++id)
+        s.spawn(waiter(c, order, id));
+    s.queue().scheduleIn(5, [&] { c.notifyRange(10, 11); });
+    s.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(AddrCondition, NotifiedWaiterCanRewaitWithoutRewake)
+{
+    Simulator s;
+    AddrCondition c(s.queue());
+    int wakes = 0;
+    s.spawn([](AddrCondition &c, int &wakes) -> Task<> {
+        co_await c.wait(0, 4);
+        ++wakes;
+        co_await c.wait(0, 4); // must not be satisfied by the same notify
+        ++wakes;
+    }(c, wakes));
+    s.queue().scheduleIn(10, [&] { c.notifyRange(0, 4); });
+    s.queue().scheduleIn(20, [&] { c.notifyRange(0, 4); });
+    s.runAll();
+    EXPECT_EQ(wakes, 2);
+}
+
+// ---- integer-ns occupancy: pin the calibrated bus rates ----------------
+
+TEST(Bus, OccupancyPinsCalibratedConfigs)
+{
+    Simulator s;
+    // The three bus rates the machine model instantiates (config.hh):
+    // EISA DMA 24.5 MB/s, mesh link 175 MB/s, Ethernet 1 MB/s. Values
+    // are ceil(bytes * 1e9 / bytesPerSec) exactly; a change to the
+    // rounding rule shifts every simulated figure, so pin them.
+    Bus eisa(s.queue(), 24.5, "pin_eisa");
+    Bus link(s.queue(), 175.0, "pin_link");
+    Bus ether(s.queue(), 1.0, "pin_ether");
+    EXPECT_EQ(eisa.occupancy(4096), 167184u);        // 167183.67.. up
+    EXPECT_EQ(eisa.occupancy(512, 1600), 22498u);    // setup + 20897.96..
+    EXPECT_EQ(eisa.occupancy(49), 2000u);            // exact: no round-up
+    EXPECT_EQ(link.occupancy(528), 3018u);           // 3017.14.. up
+    EXPECT_EQ(link.occupancy(16), 92u);              // 91.43.. up
+    EXPECT_EQ(link.occupancy(0, 100), 100u);         // zero bytes: setup
+    EXPECT_EQ(ether.occupancy(1500), 1'500'000u);    // exact
 }
 
 TEST(ChannelStress, ManyProducersOneConsumerFifoPerProducer)

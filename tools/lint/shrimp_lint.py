@@ -20,12 +20,20 @@ Enforces simulator hygiene that generic tools miss:
      own header (so rule 5 does not apply) must keep all system
      includes (<...>) before the first project include ("..."), the
      repo's canonical block order.
+  7. sim-core std::function ban: no std::function members, parameters
+     or locals in src/sim/ — the event core is the innermost loop of
+     every simulation, and type-erased callables there mean a heap
+     allocation plus an indirect call per event. Use a template
+     parameter (EventQueue::schedule), a pooled inline callable, or a
+     plain function pointer instead.
 
 Usage: tools/lint/shrimp_lint.py [repo-root]
 Exit status 0 when clean, 1 with findings listed on stderr.
 
 A line can opt out of rule 1 with a trailing `// lint: allow-nondeterminism`
-comment (none needed today; prefer plumbing Tick time instead).
+comment (none needed today; prefer plumbing Tick time instead), and out
+of rule 7 with `// lint: allow-std-function` (for a cold path where the
+erasure provably never runs per event).
 """
 
 import os
@@ -52,6 +60,7 @@ BANNED = [
 ]
 
 ALLOW_MARKER = "lint: allow-nondeterminism"
+ALLOW_STD_FUNCTION_MARKER = "lint: allow-std-function"
 
 findings = []
 
@@ -133,6 +142,20 @@ def check_banned(path, raw_lines, code_lines):
                 finding(path, no,
                         f"nondeterminism: {what} is banned in src/ "
                         "(simulations must be driven by Tick time only)")
+
+
+def check_sim_core_no_std_function(path, raw_lines, code_lines):
+    """Rule 7: std::function anywhere in src/sim/ code (members,
+    parameters, locals) regresses the pooled event fast path."""
+    for no, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        if ALLOW_STD_FUNCTION_MARKER in raw:
+            continue
+        if re.search(r"\bstd\s*::\s*function\b", code):
+            finding(path, no,
+                    "std::function in the sim core: a type-erased "
+                    "callable here costs a heap allocation and an "
+                    "indirect call on the hottest loop; use a template "
+                    "parameter or the pooled inline storage instead")
 
 
 def check_header(path, expect_guard, raw_lines, code_lines):
@@ -223,6 +246,10 @@ def lint_tree(root):
                     check_banned(path, raw_lines, code_lines)
                     if name.endswith(".cc"):
                         check_own_header_first(path, src_dir, raw_lines)
+                    if dirpath.startswith(
+                            os.path.join(src_dir, "sim")):
+                        check_sim_core_no_std_function(
+                            path, raw_lines, code_lines)
                 if name.endswith(".hh"):
                     check_header(path, guard_name(root, path), raw_lines,
                                  code_lines)
