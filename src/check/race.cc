@@ -58,6 +58,7 @@ RaceDetector::reset()
     actorStack_.clear();
     mems_.clear();
     objClocks_.clear();
+    warnedReadRecDrop_ = false; // re-arm: warn once per simulation
 }
 
 // ---- actors -------------------------------------------------------------
@@ -120,6 +121,50 @@ RaceDetector::PageShadow &
 RaceDetector::page(MemState &ms, PageNum p)
 {
     return ms.pages[p];
+}
+
+void
+RaceDetector::pushWrite(WordShadow &w, const Cell &c, PAddr word_lo)
+{
+    // A record is superseded when the new op covers every byte it
+    // described *within this word* and it came from the same writer
+    // (the writer's own later store replaces its earlier one; another
+    // actor's covered record must stay until the conflict check has a
+    // chance to fire against a third party). Replace such a record
+    // in place; otherwise shift the history down and evict the oldest.
+    const PAddr wordHi = word_lo + 4;
+    auto clipLo = [&](const Cell &e) { return std::max(e.opBase, word_lo); };
+    auto clipHi = [&](const Cell &e) {
+        return std::min(e.opBase + PAddr(e.opLen), wordHi);
+    };
+    std::size_t slot = writeHistoryDepth - 1;
+    for (std::size_t i = 0; i < writeHistoryDepth; ++i) {
+        const Cell &e = w.hist[i];
+        if (e.writer == noActor ||
+            (e.writer == c.writer && clipLo(e) >= clipLo(c) &&
+             clipHi(e) <= clipHi(c))) {
+            slot = i;
+            break;
+        }
+    }
+    for (std::size_t i = slot; i > 0; --i)
+        w.hist[i] = w.hist[i - 1];
+    w.hist[0] = c;
+}
+
+void
+RaceDetector::noteReadRecDropped(const MemState &ms, PageNum p)
+{
+    ++statReadRecsDropped_;
+    if (warnedReadRecDrop_)
+        return;
+    warnedReadRecDrop_ = true;
+    warn(logging::format(
+        "race detector dropped a read record on %s page %u (per-page cap "
+        "of %zu reached): a write-after-read conflict against the "
+        "dropped read can no longer be detected; stats group 'racecheck' "
+        "counts further drops",
+        ms.name.c_str(), unsigned(p), maxReadRecs));
 }
 
 std::vector<std::uint64_t> &
@@ -216,7 +261,7 @@ RaceDetector::onWrite(const void *mem, PAddr addr, std::size_t n, Tick now)
                 for (std::size_t ci = (lo - pageLo) / 4;
                      ci <= (hi - 1 - pageLo) / 4 && ci < sh.cells.size();
                      ++ci)
-                    sh.cells[ci] = Cell{};
+                    sh.cells[ci] = WordShadow{};
             }
             std::erase_if(sh.reads, [&](const ReadRec &r) {
                 return overlaps(r.lo, r.hi, lo, hi);
@@ -282,34 +327,40 @@ RaceDetector::onWrite(const void *mem, PAddr addr, std::size_t n, Tick now)
             it = sh.reads.erase(it); // this write supersedes the read
         }
 
-        // Write-after-write, per 4-byte word.
+        // Write-after-write, per 4-byte word, against the whole write
+        // history of each word — a partial-word write must not hide the
+        // record of an earlier write to the word's other bytes.
         const std::size_t words = (pb + 3) / 4;
         if (sh.cells.size() < words)
             sh.cells.resize(words);
         for (std::size_t ci = (lo - pageLo) / 4;
              ci <= (hi - 1 - pageLo) / 4; ++ci) {
-            Cell &c = sh.cells[ci];
+            WordShadow &w = sh.cells[ci];
             // Word cells are a coarse index; the stored op range makes
             // the check byte-precise so ops that merely share a word
             // (false sharing at the boundary) never conflict.
-            if (c.writer != noActor && c.writer != me &&
-                overlaps(c.opBase, c.opBase + PAddr(c.opLen), opLo, opHi) &&
-                entryOf(me, c.writer) < c.clk &&
-                std::find(reported.begin(), reported.end(), c.writer) ==
-                    reported.end()) {
-                reported.push_back(c.writer);
-                report(logging::format(
-                    "race: write-write conflict on %s page %u: %s wrote "
-                    "[0x%x, +%zu) at %llu ns, unordered with the write "
-                    "[0x%x, +%u) by %s at %llu ns (no happens-before edge "
-                    "between the two accesses)",
-                    ms.name.c_str(), unsigned(p), describe(me).c_str(),
-                    unsigned(addr), n, (unsigned long long)now,
-                    unsigned(c.opBase), c.opLen,
-                    describe(c.writer).c_str(),
-                    (unsigned long long)c.tick));
+            for (const Cell &c : w.hist) {
+                if (c.writer != noActor && c.writer != me &&
+                    overlaps(c.opBase, c.opBase + PAddr(c.opLen), opLo,
+                             opHi) &&
+                    entryOf(me, c.writer) < c.clk &&
+                    std::find(reported.begin(), reported.end(),
+                              c.writer) == reported.end()) {
+                    reported.push_back(c.writer);
+                    report(logging::format(
+                        "race: write-write conflict on %s page %u: %s "
+                        "wrote [0x%x, +%zu) at %llu ns, unordered with "
+                        "the write [0x%x, +%u) by %s at %llu ns (no "
+                        "happens-before edge between the two accesses)",
+                        ms.name.c_str(), unsigned(p), describe(me).c_str(),
+                        unsigned(addr), n, (unsigned long long)now,
+                        unsigned(c.opBase), c.opLen,
+                        describe(c.writer).c_str(),
+                        (unsigned long long)c.tick));
+                }
             }
-            c = Cell{me, myclk, now, addr, std::uint32_t(n)};
+            pushWrite(w, Cell{me, myclk, now, addr, std::uint32_t(n)},
+                      pageLo + PAddr(ci * 4));
         }
     }
 }
@@ -347,11 +398,15 @@ RaceDetector::onRead(const void *mem, PAddr addr, std::size_t n, Tick now)
             for (std::size_t ci = (lo - pageLo) / 4;
                  ci <= (hi - 1 - pageLo) / 4 && ci < sh.cells.size();
                  ++ci) {
-                const Cell &c = sh.cells[ci];
-                if (c.writer != noActor && c.writer != me &&
-                    overlaps(c.opBase, c.opBase + PAddr(c.opLen), opLo,
-                             opHi))
-                    joinVec(clockOf(me), clocks_.at(c.writer));
+                // The read observes the word's current content, which
+                // may hold bytes from several recorded writes: join
+                // with every overlapping writer in the history.
+                for (const Cell &c : sh.cells[ci].hist) {
+                    if (c.writer != noActor && c.writer != me &&
+                        overlaps(c.opBase, c.opBase + PAddr(c.opLen),
+                                 opLo, opHi))
+                        joinVec(clockOf(me), clocks_.at(c.writer));
+                }
             }
         }
         return;
@@ -367,31 +422,33 @@ RaceDetector::onRead(const void *mem, PAddr addr, std::size_t n, Tick now)
         const PAddr hi = std::min(opHi, PAddr(pageLo + pb));
         PageShadow &sh = page(ms, p);
 
-        // Read-after-write, per word.
+        // Read-after-write, per word, against the whole write history.
         if (!sh.cells.empty()) {
             for (std::size_t ci = (lo - pageLo) / 4;
                  ci <= (hi - 1 - pageLo) / 4 && ci < sh.cells.size();
                  ++ci) {
-                const Cell &c = sh.cells[ci];
-                if (c.writer != noActor && c.writer != me &&
-                    overlaps(c.opBase, c.opBase + PAddr(c.opLen), opLo,
-                             opHi) &&
-                    entryOf(me, c.writer) < c.clk &&
-                    std::find(reported.begin(), reported.end(),
-                              c.writer) == reported.end()) {
-                    reported.push_back(c.writer);
-                    report(logging::format(
-                        "race: read-write conflict on %s page %u: %s read "
-                        "[0x%x, +%zu) at %llu ns, unordered with the "
-                        "write [0x%x, +%u) by %s at %llu ns (missing "
-                        "ordering edge: no flag-poll observation, "
-                        "packet/notification clock or bus completion "
-                        "orders the read after the write)",
-                        ms.name.c_str(), unsigned(p), describe(me).c_str(),
-                        unsigned(addr), n, (unsigned long long)now,
-                        unsigned(c.opBase), c.opLen,
-                        describe(c.writer).c_str(),
-                        (unsigned long long)c.tick));
+                for (const Cell &c : sh.cells[ci].hist) {
+                    if (c.writer != noActor && c.writer != me &&
+                        overlaps(c.opBase, c.opBase + PAddr(c.opLen),
+                                 opLo, opHi) &&
+                        entryOf(me, c.writer) < c.clk &&
+                        std::find(reported.begin(), reported.end(),
+                                  c.writer) == reported.end()) {
+                        reported.push_back(c.writer);
+                        report(logging::format(
+                            "race: read-write conflict on %s page %u: "
+                            "%s read [0x%x, +%zu) at %llu ns, unordered "
+                            "with the write [0x%x, +%u) by %s at %llu "
+                            "ns (missing ordering edge: no flag-poll "
+                            "observation, packet/notification clock or "
+                            "bus completion orders the read after the "
+                            "write)",
+                            ms.name.c_str(), unsigned(p),
+                            describe(me).c_str(), unsigned(addr), n,
+                            (unsigned long long)now, unsigned(c.opBase),
+                            c.opLen, describe(c.writer).c_str(),
+                            (unsigned long long)c.tick));
+                    }
                 }
             }
         }
@@ -400,8 +457,10 @@ RaceDetector::onRead(const void *mem, PAddr addr, std::size_t n, Tick now)
         // Records are deliberately NOT coalesced: merging adjacent reads
         // under one (max) clock would make a properly-acknowledged ring
         // slot look like it was read after the ack.
-        if (sh.reads.size() >= maxReadRecs)
+        if (sh.reads.size() >= maxReadRecs) {
             sh.reads.erase(sh.reads.begin());
+            noteReadRecDropped(ms, p);
+        }
         sh.reads.push_back(ReadRec{me, myclk, now, lo, hi});
     }
 }

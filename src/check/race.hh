@@ -72,6 +72,7 @@
 #ifndef SHRIMP_CHECK_RACE_HH
 #define SHRIMP_CHECK_RACE_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -79,6 +80,7 @@
 #include <vector>
 
 #include "base/config.hh"
+#include "base/stats.hh"
 #include "base/types.hh"
 #include "check/check.hh"
 
@@ -224,6 +226,22 @@ class RaceDetector
         std::uint32_t opLen = 0;
     };
 
+    /** Retained write records per 4-byte word. One record
+     *  (last-writer-wins) had a false negative: a write touching only
+     *  *part* of a word evicted the record of an earlier write to the
+     *  word's other bytes, hiding a later conflict with that earlier
+     *  write. A short history keeps the evicted records around; depth 3
+     *  covers every byte-disjoint split of a 4-byte word by distinct
+     *  ops plus one spare. */
+    static constexpr std::size_t writeHistoryDepth = 3;
+
+    /** Per-word shadow state: up to writeHistoryDepth write records,
+     *  newest first; unused slots have writer == noActor. */
+    struct WordShadow
+    {
+        std::array<Cell, writeHistoryDepth> hist;
+    };
+
     struct ReadRec
     {
         ActorId reader = noActor;
@@ -235,7 +253,7 @@ class RaceDetector
 
     struct PageShadow
     {
-        std::vector<Cell> cells; //!< one per 4-byte word, lazily sized
+        std::vector<WordShadow> cells; //!< one per word, lazily sized
         std::vector<ReadRec> reads;
     };
 
@@ -259,6 +277,8 @@ class RaceDetector
 
     MemState &memState(const void *mem);
     PageShadow &page(MemState &ms, PageNum p);
+    void pushWrite(WordShadow &w, const Cell &c, PAddr word_lo);
+    void noteReadRecDropped(const MemState &ms, PageNum p);
     std::vector<std::uint64_t> &clockOf(ActorId a);
     std::uint64_t entryOf(ActorId a, ActorId other);
     std::uint64_t bump(ActorId a);
@@ -274,6 +294,21 @@ class RaceDetector
     std::vector<ActorId> actorStack_;
     std::unordered_map<const void *, MemState> mems_;
     std::unordered_map<const void *, std::vector<std::uint64_t>> objClocks_;
+
+    // Read records past the per-page cap are dropped oldest-first; a
+    // drop can only hide a conflict, never invent one. The counter
+    // makes that blind spot measurable and the one-time warning makes
+    // it loud.
+    stats::Group stats_{"racecheck"};
+    stats::Counter &statReadRecsDropped_ =
+        stats_.counter("readRecsDropped");
+    bool warnedReadRecDrop_ = false;
+
+  public:
+    std::uint64_t readRecsDropped() const
+    {
+        return statReadRecsDropped_.value();
+    }
 };
 
 /**

@@ -71,7 +71,9 @@ class IncomingDmaEngine
     /** Record a packet headed for this node (called at injection time). */
     void noteInflight(PAddr addr);
 
-    /** Wait until no packet is in flight toward pages [first, last]. */
+    /** Wait until no packet is in flight toward pages [first, last].
+     *  analyze: free — pure blocking on the drain condition; the
+     *  deliveries being waited for charge their own bus time. */
     sim::Task<> waitDrain(PageNum first, PageNum last);
 
     /** Race-detector actor id of this engine's delivery writes (noActor

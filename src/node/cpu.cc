@@ -16,6 +16,8 @@ Cpu::use(Tick t)
 {
     co_await lock_.acquire();
     trace::ScopedSpan span(queue_, track_, "compute");
+    // analyze: allow(suspend-under-exclusion) — this Delay IS the
+    // occupancy being modeled; the lock is held exactly for its span.
     co_await sim::Delay{queue_, t};
     busyTime_ += t;
     statUses_ += 1;

@@ -34,6 +34,8 @@ Bus::transfer(std::size_t bytes, Tick setup)
         check::SimChecker::instance().onBusTransferStart(this, bytes));
     trace::ScopedSpan span(queue_, track_, "xfer");
     Tick t = occupancy(bytes, setup);
+    // analyze: allow(suspend-under-exclusion) — this Delay IS the bus
+    // occupancy being modeled; the lock is held exactly for its span.
     co_await Delay{queue_, t};
     SHRIMP_CHECK_HOOK(
         check::SimChecker::instance().onBusTransferEnd(this, bytes));

@@ -256,6 +256,9 @@ Simulator::~Simulator()
     // simulations). destroy() unregisters each frame via ~promise_type,
     // so iterate over a copy.
     auto live = liveDetached_;
+    // analyze: allow(determinism) — teardown-only sweep after the event
+    // loop is done: destruction order can no longer affect simulated
+    // state or trace output.
     for (void *frame : live)
         std::coroutine_handle<>::from_address(frame).destroy();
 }

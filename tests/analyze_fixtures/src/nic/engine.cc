@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Definitions for the charged-time fixture (see nic/engine.hh for
+ * which entries are seeded violations vs. near-misses).
+ */
+
+#include "nic/engine.hh"
+
+namespace shrimpfix
+{
+
+Task<>
+Engine::deliver()
+{
+    co_await tick(); // suspends, but never charges simulated time
+    co_return;
+}
+
+Task<>
+Engine::pumpBus()
+{
+    co_await bus_.transfer(64);
+}
+
+Task<>
+Engine::drain()
+{
+    co_await pumpBus();
+}
+
+Task<>
+Engine::waitIdle()
+{
+    co_await idleCond_.wait();
+}
+
+Task<>
+Engine::hidden()
+{
+    co_await tick();
+}
+
+} // namespace shrimpfix

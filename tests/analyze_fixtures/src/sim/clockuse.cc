@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Analyzer fixture for the determinism rule: a wall-clock/PRNG use and
+ * two pointer-keyed-container iterations (one direct, one through an
+ * `auto copy = ...;` alias), next to lookups and an int-keyed iteration
+ * that must stay clean.
+ */
+
+namespace shrimpfix
+{
+
+struct Registry
+{
+    std::unordered_map<void *, int> live_;
+    std::unordered_map<int, int> counts_;
+
+    void dump();
+    void dumpCounts();
+    int lookup(void *p);
+    int seed();
+};
+
+void
+Registry::dump()
+{
+    auto snap = live_;
+    for (auto &kv : snap) // seeded: alias of a pointer-keyed container
+        (void)kv;
+    for (auto &kv : live_) // seeded: pointer-keyed iteration order
+        (void)kv;
+}
+
+void
+Registry::dumpCounts()
+{
+    for (auto &kv : counts_) // negative: int keys iterate stably
+        (void)kv;
+}
+
+int
+Registry::lookup(void *p)
+{
+    auto it = live_.find(p); // negative: lookups don't observe order
+    return it == live_.end() ? -1 : it->second;
+}
+
+int
+Registry::seed()
+{
+    int grand = 7;        // negative: 'grand' is not the token 'rand'
+    return rand() + grand; // seeded: PRNG in the simulator core
+}
+
+} // namespace shrimpfix

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Analyzer fixture for the suspend-under-exclusion rule: one seeded
+ * co_await between acquire() and release(), one released-first
+ * negative, and one annotated (allowed) occupancy wait.
+ */
+
+#include "sim/tasks.hh"
+
+namespace shrimpfix
+{
+
+Task<>
+badCritical()
+{
+    co_await gate_.acquire();
+    co_await tick(); // seeded: suspension while 'gate_' is held
+    gate_.release();
+}
+
+Task<>
+okCritical()
+{
+    co_await gate_.acquire();
+    gate_.release();
+    co_await tick(); // negative: the lock was released first
+}
+
+Task<>
+annotatedCritical()
+{
+    co_await gate_.acquire();
+    // analyze: allow(suspend-under-exclusion) — fixture: the awaited
+    // delay is itself the modeled occupancy of the held resource.
+    co_await tick();
+    gate_.release();
+}
+
+} // namespace shrimpfix

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Analyzer fixture: the Task vocabulary the dropped-task fixtures call.
+ * Never compiled — only lexed/parsed by shrimp_analyze in
+ * tests/test_analyze.cc. `poll` is deliberately declared twice with
+ * different return types so the name is *ambiguous* in the Task index
+ * and calls to it must not be flagged.
+ */
+
+#ifndef SHRIMP_TESTS_ANALYZE_FIXTURES_SRC_SIM_TASKS_HH
+#define SHRIMP_TESTS_ANALYZE_FIXTURES_SRC_SIM_TASKS_HH
+
+namespace shrimpfix
+{
+
+template <typename T = void> class Task;
+
+Task<> tick();
+Task<> pump();
+Task<int> sample();
+
+Task<> poll();
+int poll(int fd);
+
+void consume(Task<int> t);
+
+} // namespace shrimpfix
+
+#endif // SHRIMP_TESTS_ANALYZE_FIXTURES_SRC_SIM_TASKS_HH

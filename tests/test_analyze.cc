@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for shrimp_analyze (tools/analyze): the seeded fixture corpus
+ * under tests/analyze_fixtures/ must yield exactly the expected
+ * finding per rule (and nothing for the near-miss negatives), the live
+ * src/ tree must be clean modulo the checked-in baseline, and the
+ * baseline matcher must behave as a multiset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "analyzer.hh"
+#include "baseline.hh"
+
+namespace shrimp::analyze
+{
+namespace
+{
+
+std::string
+dump(const std::vector<Finding> &fs)
+{
+    std::string s;
+    for (const Finding &f : fs)
+        s += "  " + formatFinding(f) + "\n";
+    return s;
+}
+
+std::multiset<std::string>
+keys(const std::vector<Finding> &fs)
+{
+    std::multiset<std::string> k;
+    for (const Finding &f : fs)
+        k.insert(f.rule + "|" + f.fingerprint);
+    return k;
+}
+
+TEST(Analyze, FixtureCorpusYieldsExactlyTheSeededViolations)
+{
+    const auto findings = analyzeTree(SHRIMP_ANALYZE_FIXTURES);
+
+    const std::multiset<std::string> want = {
+        "charged-time|Engine::deliver",
+        "determinism|banned/rand",
+        "determinism|ptr-iter/live_",
+        "determinism|ptr-iter/snap",
+        "dropped-task|runsNothing/pump/stored",
+        "dropped-task|runsNothing/tick",
+        "layering|cycle/base/loop_a.hh->base/loop_b.hh->base/loop_a.hh",
+        "layering|mem/backdoor.hh->net/wire.hh",
+        "suspend-under-exclusion|badCritical/gate_",
+    };
+    EXPECT_EQ(keys(findings), want) << dump(findings);
+}
+
+TEST(Analyze, FixtureCorpusCoversEveryRule)
+{
+    const auto findings = analyzeTree(SHRIMP_ANALYZE_FIXTURES);
+    std::set<std::string> rules;
+    for (const Finding &f : findings)
+        rules.insert(f.rule);
+    const std::set<std::string> want = {
+        "charged-time", "determinism", "dropped-task", "layering",
+        "suspend-under-exclusion",
+    };
+    EXPECT_EQ(rules, want) << dump(findings);
+}
+
+TEST(Analyze, FixtureFindingsCarryFileAndLine)
+{
+    for (const Finding &f : analyzeTree(SHRIMP_ANALYZE_FIXTURES)) {
+        EXPECT_FALSE(f.file.empty()) << formatFinding(f);
+        EXPECT_GT(f.line, 0) << formatFinding(f);
+        EXPECT_FALSE(f.message.empty()) << formatFinding(f);
+    }
+}
+
+TEST(Analyze, LiveTreeIsCleanModuloBaseline)
+{
+    const auto findings = analyzeTree(SHRIMP_ANALYZE_SRC);
+
+    bool existed = false;
+    const auto entries = loadBaseline(SHRIMP_ANALYZE_BASELINE, existed);
+    ASSERT_TRUE(existed) << "missing " << SHRIMP_ANALYZE_BASELINE;
+
+    const BaselineResult r = applyBaseline(findings, entries);
+    EXPECT_TRUE(r.fresh.empty())
+        << "new analyzer findings on src/ (fix or annotate; only pin "
+           "deliberate debt in the baseline):\n"
+        << dump(r.fresh);
+    EXPECT_TRUE(r.stale.empty())
+        << "stale baseline entries (debt paid off; remove them): "
+        << r.stale.size();
+}
+
+TEST(Analyze, BaselineMatchesAsAMultiset)
+{
+    const Finding a{"r", "f.cc", 3, "fp", "msg"};
+    const Finding b{"r", "f.cc", 9, "fp", "msg"}; // same fingerprint
+
+    // One entry suppresses only one of two identical findings.
+    BaselineResult r = applyBaseline({a, b}, {baselineEntry(a)});
+    EXPECT_EQ(r.suppressed.size(), 1u);
+    EXPECT_EQ(r.fresh.size(), 1u);
+    EXPECT_TRUE(r.stale.empty());
+
+    // Two entries suppress both; nothing is stale.
+    r = applyBaseline({a, b}, {baselineEntry(a), baselineEntry(a)});
+    EXPECT_EQ(r.suppressed.size(), 2u);
+    EXPECT_TRUE(r.fresh.empty());
+    EXPECT_TRUE(r.stale.empty());
+
+    // An entry matching nothing is reported stale.
+    r = applyBaseline({a}, {baselineEntry(a), "r|other.cc|fp"});
+    EXPECT_TRUE(r.fresh.empty());
+    ASSERT_EQ(r.stale.size(), 1u);
+    EXPECT_EQ(r.stale[0], "r|other.cc|fp");
+}
+
+TEST(Analyze, FindingFormat)
+{
+    const Finding f{"dropped-task", "sim/x.cc", 12, "fn/callee", "boom"};
+    EXPECT_EQ(formatFinding(f), "sim/x.cc:12: [dropped-task] boom");
+    EXPECT_EQ(baselineEntry(f), "dropped-task|sim/x.cc|fn/callee");
+}
+
+} // namespace
+} // namespace shrimp::analyze

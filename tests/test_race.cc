@@ -343,6 +343,102 @@ TEST_F(RaceTest, WordSharingWithoutByteOverlapIsClean)
     EXPECT_TRUE(checker().violations().empty());
 }
 
+// ---- per-word write history (eviction false-negative regressions) ------
+
+TEST_F(RaceTest, PartialWordOverwriteDoesNotHideOlderWrite)
+{
+    // Regression: with one record per word (last-writer-wins), the
+    // snoop's write to bytes [0,2) of the word evicted the record of
+    // the CPU's write to bytes [2,4) — no conflict between those two,
+    // but the DMA's later unordered write to [2,4) went undetected.
+    auto cpu = race().registerActor("node0.p0", check::ActorKind::Cpu);
+    auto snoop =
+        race().registerActor("node0.snoop", check::ActorKind::Snoop);
+    auto dma = race().registerActor("node0.dma", check::ActorKind::Dma);
+    write(cpu, 0x102, 2, 10);   // bytes [2,4) of the word at 0x100
+    write(snoop, 0x100, 2, 20); // bytes [0,2): no byte overlap, clean
+    EXPECT_TRUE(checker().violations().empty());
+    write(dma, 0x102, 2, 30); // unordered with the cpu write
+    EXPECT_TRUE(sawViolation({"write-write conflict", "cpu 'node0.p0'",
+                              "dma 'node0.dma'"}));
+}
+
+TEST_F(RaceTest, RepeatedWritesBySameActorDoNotEvictOthersRecord)
+{
+    // An actor re-writing the same bytes replaces its own history
+    // entry instead of flooding the word and evicting other records.
+    auto cpu = race().registerActor("node0.p0", check::ActorKind::Cpu);
+    auto snoop =
+        race().registerActor("node0.snoop", check::ActorKind::Snoop);
+    auto dma = race().registerActor("node0.dma", check::ActorKind::Dma);
+    write(cpu, 0x100, 2, 10); // bytes [0,2)
+    for (Tick t = 20; t < 26; ++t)
+        write(snoop, 0x102, 2, t); // bytes [2,4), six times
+    EXPECT_TRUE(checker().violations().empty());
+    write(dma, 0x100, 2, 30); // unordered with the cpu write
+    EXPECT_TRUE(sawViolation({"write-write conflict", "cpu 'node0.p0'",
+                              "dma 'node0.dma'"}));
+}
+
+TEST_F(RaceTest, ReadCatchesOlderPartialWordWrite)
+{
+    auto cpu = race().registerActor("node0.p0", check::ActorKind::Cpu);
+    auto snoop =
+        race().registerActor("node0.snoop", check::ActorKind::Snoop);
+    auto du = race().registerActor("node0.du", check::ActorKind::Du);
+    write(cpu, 0x102, 2, 10);
+    write(snoop, 0x100, 2, 20); // would have evicted the cpu record
+    read(du, 0x100, 64, 30);    // large read, unordered with both
+    EXPECT_TRUE(sawViolation({"read-write conflict", "cpu 'node0.p0'"}));
+    EXPECT_TRUE(
+        sawViolation({"read-write conflict", "snoop 'node0.snoop'"}));
+}
+
+TEST_F(RaceTest, BackdoorWriteClearsTheWholeWriteHistory)
+{
+    auto cpu = race().registerActor("node0.p0", check::ActorKind::Cpu);
+    auto snoop =
+        race().registerActor("node0.snoop", check::ActorKind::Snoop);
+    auto dma = race().registerActor("node0.dma", check::ActorKind::Dma);
+    write(cpu, 0x102, 2, 10);
+    write(snoop, 0x100, 2, 20);
+    race().onWrite(&mem_, 0x100, 4, 30); // backdoor: no actor in scope
+    write(dma, 0x100, 4, 40);            // whole word, after the poke
+    EXPECT_TRUE(checker().violations().empty());
+}
+
+TEST_F(RaceTest, FlagPollJoinsEveryWriterInTheWord)
+{
+    // An atomic poll observes the word's current content, which holds
+    // bytes from two different writers: the reader must be ordered
+    // after both, so its own write to the word is then clean.
+    auto cpu = race().registerActor("node0.p0", check::ActorKind::Cpu);
+    auto snoop =
+        race().registerActor("node0.snoop", check::ActorKind::Snoop);
+    auto dma = race().registerActor("node0.dma", check::ActorKind::Dma);
+    write(snoop, 0x100, 2, 10);
+    write(dma, 0x102, 2, 20);
+    read(cpu, 0x100, 4, 30); // atomic observation of both halves
+    write(cpu, 0x100, 4, 40);
+    EXPECT_TRUE(checker().violations().empty());
+}
+
+// ---- read-record cap accounting ----------------------------------------
+
+TEST_F(RaceTest, ReadRecordDropsPastTheCapAreCounted)
+{
+    auto cpu = race().registerActor("node0.p0", check::ActorKind::Cpu);
+    auto dma = race().registerActor("node0.dma", check::ActorKind::Dma);
+    // Order the reader after the writer so the reads themselves are
+    // clean; 40 large reads on one page overflow the 32-record cap.
+    race().handoff(cpu, dma);
+    const std::uint64_t before = race().readRecsDropped();
+    for (int i = 0; i < 40; ++i)
+        read(cpu, PAddr(0x1000 + i * 64), 32, Tick(100 + i));
+    EXPECT_EQ(race().readRecsDropped(), before + 8);
+    EXPECT_TRUE(checker().violations().empty());
+}
+
 TEST_F(RaceTest, ActorsAreDeduplicatedByName)
 {
     auto a = race().registerActor("node0.p0", check::ActorKind::Cpu);

@@ -1,0 +1,89 @@
+#include "analyzer.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lexer.hh"
+#include "parse.hh"
+#include "rules.hh"
+
+namespace shrimp::analyze
+{
+
+namespace fs = std::filesystem;
+
+Project
+loadProject(const std::string &includeRoot)
+{
+    Project p;
+    std::vector<std::string> rels;
+    for (const auto &ent : fs::recursive_directory_iterator(includeRoot)) {
+        if (!ent.is_regular_file())
+            continue;
+        const std::string ext = ent.path().extension().string();
+        if (ext != ".hh" && ext != ".cc" && ext != ".hpp" && ext != ".cpp")
+            continue;
+        rels.push_back(
+            fs::relative(ent.path(), includeRoot).generic_string());
+    }
+    std::sort(rels.begin(), rels.end()); // host directory order varies
+
+    for (const std::string &rel : rels) {
+        std::ifstream in(fs::path(includeRoot) / rel);
+        std::stringstream ss;
+        ss << in.rdbuf();
+
+        SourceFile f;
+        f.rel = rel;
+        const std::size_t slash = rel.find('/');
+        f.dir = slash == std::string::npos ? "" : rel.substr(0, slash);
+        f.isHeader = rel.size() > 3 &&
+                     (rel.compare(rel.size() - 3, 3, ".hh") == 0 ||
+                      rel.compare(rel.size() - 4, 4, ".hpp") == 0);
+        lexFile(ss.str(), f);
+        parseFile(f);
+        p.files.push_back(std::move(f));
+    }
+    buildTaskIndex(p);
+    return p;
+}
+
+std::vector<Finding>
+runRules(const Project &p)
+{
+    std::vector<Finding> out;
+    ruleDroppedTask(p, out);
+    ruleSuspendUnderExclusion(p, out);
+    ruleDeterminism(p, out);
+    ruleLayering(p, out);
+    ruleChargedTime(p, out);
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.fingerprint < b.fingerprint;
+              });
+    return out;
+}
+
+std::vector<Finding>
+analyzeTree(const std::string &includeRoot)
+{
+    const Project p = loadProject(includeRoot);
+    return runRules(p);
+}
+
+std::string
+formatFinding(const Finding &f)
+{
+    return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+           f.message;
+}
+
+} // namespace shrimp::analyze

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Top-level driver for shrimp_analyze: walk an include root, lex and
+ * parse every .hh/.cc under it, build the cross-file index, run all
+ * five rules and return deterministically ordered findings. Linked by
+ * both the CLI (main.cc) and tests/test_analyze.cc.
+ */
+
+#ifndef SHRIMP_TOOLS_ANALYZE_ANALYZER_HH
+#define SHRIMP_TOOLS_ANALYZE_ANALYZER_HH
+
+#include <string>
+#include <vector>
+
+#include "model.hh"
+
+namespace shrimp::analyze
+{
+
+/** Lex + parse + index every C++ file under @p includeRoot. File
+ *  paths in the result are relative to @p includeRoot (which is also
+ *  the path includes resolve against, mirroring the build's -I). */
+Project loadProject(const std::string &includeRoot);
+
+/** Run all rules; findings sorted by (file, line, rule, fingerprint). */
+std::vector<Finding> runRules(const Project &p);
+
+/** loadProject + runRules. */
+std::vector<Finding> analyzeTree(const std::string &includeRoot);
+
+/** `file:line: [rule] message` */
+std::string formatFinding(const Finding &f);
+
+} // namespace shrimp::analyze
+
+#endif // SHRIMP_TOOLS_ANALYZE_ANALYZER_HH

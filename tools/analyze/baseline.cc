@@ -1,0 +1,57 @@
+#include "baseline.hh"
+
+#include <fstream>
+#include <map>
+
+namespace shrimp::analyze
+{
+
+std::string
+baselineEntry(const Finding &f)
+{
+    return f.rule + "|" + f.file + "|" + f.fingerprint;
+}
+
+std::vector<std::string>
+loadBaseline(const std::string &path, bool &existed)
+{
+    std::vector<std::string> entries;
+    std::ifstream in(path);
+    existed = in.good();
+    std::string line;
+    while (std::getline(in, line)) {
+        while (!line.empty() &&
+               (line.back() == '\r' || line.back() == ' '))
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        entries.push_back(line);
+    }
+    return entries;
+}
+
+BaselineResult
+applyBaseline(const std::vector<Finding> &findings,
+              const std::vector<std::string> &entries)
+{
+    std::map<std::string, int> pool;
+    for (const std::string &e : entries)
+        ++pool[e];
+
+    BaselineResult r;
+    for (const Finding &f : findings) {
+        auto it = pool.find(baselineEntry(f));
+        if (it != pool.end() && it->second > 0) {
+            --it->second;
+            r.suppressed.push_back(f);
+        } else {
+            r.fresh.push_back(f);
+        }
+    }
+    for (const auto &[entry, left] : pool)
+        for (int i = 0; i < left; ++i)
+            r.stale.push_back(entry);
+    return r;
+}
+
+} // namespace shrimp::analyze

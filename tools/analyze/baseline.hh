@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Baseline for shrimp_analyze: a checked-in list of accepted findings
+ * (pre-existing architectural debt, pinned so it cannot grow).
+ *
+ * Format: one entry per line, `rule|file|fingerprint`; `#` comments
+ * and blank lines ignored. Fingerprints are line-number-free (function
+ * and include-edge identities), so ordinary edits don't churn the
+ * file. Matching consumes entries multiset-style: two identical
+ * findings need two identical entries. Entries that match nothing are
+ * reported as stale (stderr warning) so the file shrinks when debt is
+ * paid off.
+ */
+
+#ifndef SHRIMP_TOOLS_ANALYZE_BASELINE_HH
+#define SHRIMP_TOOLS_ANALYZE_BASELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "model.hh"
+
+namespace shrimp::analyze
+{
+
+struct BaselineResult
+{
+    std::vector<Finding> fresh;      //!< findings not in the baseline
+    std::vector<Finding> suppressed; //!< findings matched by an entry
+    std::vector<std::string> stale;  //!< entries that matched nothing
+};
+
+/** Load @p path (empty result if the file does not exist). */
+std::vector<std::string> loadBaseline(const std::string &path,
+                                      bool &existed);
+
+/** Split @p findings against baseline @p entries. */
+BaselineResult applyBaseline(const std::vector<Finding> &findings,
+                             const std::vector<std::string> &entries);
+
+/** One finding rendered as a baseline entry line. */
+std::string baselineEntry(const Finding &f);
+
+} // namespace shrimp::analyze
+
+#endif // SHRIMP_TOOLS_ANALYZE_BASELINE_HH

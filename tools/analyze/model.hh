@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Data model shared by the shrimp_analyze passes: a lexed source file,
+ * the parsed function/class facts extracted from it, the cross-file
+ * project index, and findings.
+ *
+ * Pipeline: lexer (token.hh/lexer.hh) -> parse (function bodies, class
+ * member declarations, Task-returner index, include edges) -> rules
+ * (rules.hh) -> baseline filter (baseline.hh) -> report (main.cc).
+ */
+
+#ifndef SHRIMP_TOOLS_ANALYZE_MODEL_HH
+#define SHRIMP_TOOLS_ANALYZE_MODEL_HH
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "token.hh"
+
+namespace shrimp::analyze
+{
+
+/** One `// analyze: allow(rule)` (or `analyze: free`) annotation.
+ *  Suppresses findings of @p rule on its own line and the next line
+ *  (so an annotation can sit above the declaration it excuses). */
+struct Annotation
+{
+    int line = 0;
+    std::string rule; //!< rule name; "free" is an alias for charged-time
+};
+
+/** A function definition (has a body) found in a file. */
+struct FnDef
+{
+    std::string name;     //!< unqualified name
+    std::string qualName; //!< A::B::name as written
+    int line = 0;
+    std::size_t bodyBegin = 0; //!< token index of the `{`
+    std::size_t bodyEnd = 0;   //!< token index one past the matching `}`
+    bool returnsTask = false;
+};
+
+/** A member-function declaration inside a class body (no body here). */
+struct MemberDecl
+{
+    std::string className;
+    std::string name;
+    int line = 0;
+    bool returnsTask = false;
+    bool isPublic = false;
+};
+
+struct SourceFile
+{
+    std::string rel;  //!< path relative to the include root ("sim/bus.cc")
+    std::string dir;  //!< first path component ("sim")
+    bool isHeader = false;
+    Tokens toks;
+    std::vector<Annotation> annotations;
+    /** Project-relative includes: (line, "dir/file.hh"). */
+    std::vector<std::pair<int, std::string>> includes;
+
+    std::vector<FnDef> fns;
+    std::vector<MemberDecl> members;
+
+    bool allows(int line, const std::string &rule) const;
+};
+
+/** Everything the rules see. */
+struct Project
+{
+    std::vector<SourceFile> files;
+
+    /** Names for which *every* indexed declaration/definition returns
+     *  Task<...>. Name-based matching has no overload resolution, so a
+     *  name that is Task-returning in one class and not in another is
+     *  ambiguous and excluded (conservative: no false positives). */
+    std::set<std::string> taskFns;
+    std::set<std::string> ambiguousTaskFns;
+
+    const SourceFile *file(const std::string &rel) const;
+};
+
+struct Finding
+{
+    std::string rule;
+    std::string file; //!< relative to the include root
+    int line = 0;
+    /** Stable identity for baseline matching: survives line drift
+     *  (function/lock/include-edge names, not line numbers). */
+    std::string fingerprint;
+    std::string message;
+};
+
+} // namespace shrimp::analyze
+
+#endif // SHRIMP_TOOLS_ANALYZE_MODEL_HH

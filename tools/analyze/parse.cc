@@ -1,0 +1,347 @@
+#include "parse.hh"
+
+#include <array>
+#include <map>
+
+namespace shrimp::analyze
+{
+
+namespace
+{
+
+bool
+isKeywordNotAName(const std::string &s)
+{
+    static const std::set<std::string> kw = {
+        "if", "for", "while", "switch", "catch", "return", "sizeof",
+        "alignof", "new", "delete", "static_assert", "decltype",
+        "co_await", "co_return", "co_yield", "throw", "operator",
+        "void", "int", "char", "bool", "float", "double", "long",
+        "short", "unsigned", "signed", "auto", "requires", "alignas",
+        "defined", "assert",
+    };
+    return kw.count(s) != 0;
+}
+
+struct Parser
+{
+    SourceFile &f;
+    const Tokens &toks;
+
+    explicit Parser(SourceFile &file) : f(file), toks(file.toks) {}
+
+    std::size_t
+    size() const
+    {
+        return toks.size();
+    }
+
+    const Token &
+    at(std::size_t i) const
+    {
+        static const Token end{Tok::End, "", 0};
+        return i < toks.size() ? toks[i] : end;
+    }
+
+    /** Skip balanced `<`...`>` starting at the `<` at @p i; bails (returns
+     *  i + 1) after a cap so a stray comparison cannot eat the file. */
+    std::size_t
+    skipAngles(std::size_t i) const
+    {
+        int depth = 0;
+        for (std::size_t k = i; k < size() && k < i + 400; ++k) {
+            if (at(k).is("<"))
+                ++depth;
+            else if (at(k).is(">") && --depth == 0)
+                return k + 1;
+            else if (at(k).is(";") || at(k).is("{"))
+                break; // not a template argument list after all
+        }
+        return i + 1;
+    }
+
+    /** Does the declaration prefix ending just before @p nameIdx contain
+     *  `Task <`? Scans back to the previous statement boundary. */
+    bool
+    prefixReturnsTask(std::size_t nameIdx) const
+    {
+        const std::size_t lo = nameIdx > 48 ? nameIdx - 48 : 0;
+        for (std::size_t k = nameIdx; k-- > lo;) {
+            const Token &t = at(k);
+            if (t.is(";") || t.is("{") || t.is("}") || t.is(":"))
+                return false;
+            if (t.ident() && t.text == "Task" && at(k + 1).is("<"))
+                return true;
+        }
+        return false;
+    }
+
+    /** Qualified name A::B::name built by walking `::` chains left. */
+    std::string
+    qualNameAt(std::size_t nameIdx) const
+    {
+        std::string q = at(nameIdx).text;
+        std::size_t k = nameIdx;
+        while (k >= 2 && at(k - 1).is("::") && at(k - 2).ident()) {
+            q = at(k - 2).text + "::" + q;
+            k -= 2;
+        }
+        return q;
+    }
+
+    /** Walk a constructor initializer list starting at the `:` at @p i;
+     *  returns the index of the body `{`, or npos when the shape does
+     *  not match. */
+    std::size_t
+    findCtorBody(std::size_t i) const
+    {
+        std::size_t k = i + 1;
+        while (k < size()) {
+            // initializer name: idents, ::, template args
+            bool any = false;
+            while (at(k).ident() || at(k).is("::")) {
+                ++k;
+                any = true;
+                if (at(k).is("<"))
+                    k = skipAngles(k);
+            }
+            if (!any)
+                return std::string::npos;
+            if (at(k).is("(") || at(k).is("{"))
+                k = skipBalanced(toks, k);
+            else
+                return std::string::npos;
+            if (at(k).is(",")) {
+                ++k;
+                continue;
+            }
+            if (at(k).is("{"))
+                return k;
+            return std::string::npos;
+        }
+        return std::string::npos;
+    }
+
+    /**
+     * Candidate function at @p i (ident followed by `(`), inside class
+     * @p cls (empty at namespace scope) with current access
+     * @p isPublic. Returns the index to continue scanning from.
+     */
+    std::size_t
+    candidate(std::size_t i, const std::string &cls, bool isPublic)
+    {
+        const std::string &name = at(i).text;
+        if (isKeywordNotAName(name))
+            return i + 1;
+        std::size_t close = skipBalanced(toks, i + 1);
+        if (close >= size())
+            return i + 1;
+
+        const bool returnsTask = prefixReturnsTask(i);
+        std::size_t k = close; // one past `)`
+
+        auto declare = [&]() {
+            f.members.push_back(
+                {cls, name, at(i).line, returnsTask, isPublic});
+        };
+        auto define = [&](std::size_t bodyBrace) {
+            FnDef d;
+            d.name = name;
+            d.qualName = qualNameAt(i);
+            d.line = at(i).line;
+            d.bodyBegin = bodyBrace;
+            d.bodyEnd = skipBalanced(toks, bodyBrace);
+            d.returnsTask = returnsTask;
+            f.fns.push_back(d);
+            declare();
+            return d.bodyEnd;
+        };
+
+        for (std::size_t guard = 0; guard < 24 && k < size(); ++guard) {
+            const Token &t = at(k);
+            if (t.is(";")) {
+                declare();
+                return k + 1;
+            }
+            if (t.is("{"))
+                return define(k);
+            if (t.is(":")) {
+                const std::size_t body = findCtorBody(k);
+                if (body == std::string::npos)
+                    return i + 1;
+                return define(body);
+            }
+            if (t.is("=")) {
+                // `= 0;` / `= default;` / `= delete;` — a declaration.
+                while (k < size() && !at(k).is(";"))
+                    ++k;
+                declare();
+                return k + 1;
+            }
+            if (t.is("const") || t.is("noexcept") || t.is("override") ||
+                t.is("final") || t.is("mutable") || t.is("&") ||
+                t.is("&&")) {
+                ++k;
+                if (at(k).is("(")) // noexcept(...)
+                    k = skipBalanced(toks, k);
+                continue;
+            }
+            return i + 1; // not a function shape
+        }
+        return i + 1;
+    }
+
+    /** Scan tokens from @p i to the `}` closing this region (or the
+     *  end). @p cls is the class name when this is a class body. */
+    std::size_t
+    region(std::size_t i, const std::string &cls, bool defaultPublic)
+    {
+        bool isPublic = defaultPublic;
+        while (i < size() && at(i).kind != Tok::End) {
+            const Token &t = at(i);
+
+            if (t.is("}"))
+                return i + 1;
+
+            if (t.is("template") && at(i + 1).is("<")) {
+                i = skipAngles(i + 1);
+                continue;
+            }
+
+            if (!cls.empty() &&
+                (t.is("public") || t.is("private") || t.is("protected")) &&
+                at(i + 1).is(":")) {
+                isPublic = t.is("public");
+                i += 2;
+                continue;
+            }
+
+            if (t.is("namespace")) {
+                std::size_t k = i + 1;
+                while (at(k).ident() || at(k).is("::"))
+                    ++k;
+                if (at(k).is("{")) {
+                    i = region(k + 1, "", true);
+                    continue;
+                }
+                i = k + 1; // alias or malformed; move on
+                continue;
+            }
+
+            if (t.is("enum")) {
+                std::size_t k = i + 1;
+                while (k < size() && !at(k).is("{") && !at(k).is(";"))
+                    ++k;
+                i = at(k).is("{") ? skipBalanced(toks, k) : k + 1;
+                continue;
+            }
+
+            if (t.is("class") || t.is("struct") || t.is("union")) {
+                // Class head: remember the last plain identifier before
+                // the base-clause `:` or the `{`.
+                std::string name;
+                std::size_t k = i + 1;
+                bool body = false;
+                while (k < size()) {
+                    const Token &h = at(k);
+                    if (h.is(";") || h.is("(") || h.is(")") ||
+                        h.is(",") || h.is(">") || h.is("=") ||
+                        h.is("&") || h.is("*"))
+                        break; // fwd decl / elaborated type use
+                    if (h.is("{")) {
+                        body = true;
+                        break;
+                    }
+                    if (h.is(":")) { // base clause; body follows
+                        while (k < size() && !at(k).is("{") &&
+                               !at(k).is(";"))
+                            ++k;
+                        body = at(k).is("{");
+                        break;
+                    }
+                    if (h.is("<")) {
+                        k = skipAngles(k);
+                        continue;
+                    }
+                    if (h.ident() && !h.is("final"))
+                        name = h.text;
+                    ++k;
+                }
+                if (body) {
+                    i = region(k + 1, name.empty() ? "?" : name,
+                               t.is("class") ? false : true);
+                    continue;
+                }
+                i = k + 1;
+                continue;
+            }
+
+            if (t.ident() && at(i + 1).is("(")) {
+                i = candidate(i, cls, isPublic);
+                continue;
+            }
+
+            if (t.is("{")) { // stray initializer braces etc.
+                i = skipBalanced(toks, i);
+                continue;
+            }
+
+            ++i;
+        }
+        return i;
+    }
+};
+
+} // namespace
+
+std::size_t
+skipBalanced(const Tokens &toks, std::size_t i)
+{
+    if (i >= toks.size())
+        return toks.size();
+    const std::string open = toks[i].text;
+    const std::string close =
+        open == "(" ? ")" : open == "{" ? "}" : open == "[" ? "]" : "";
+    if (close.empty())
+        return i + 1;
+    int depth = 0;
+    for (std::size_t k = i; k < toks.size(); ++k) {
+        if (toks[k].text == open)
+            ++depth;
+        else if (toks[k].text == close && --depth == 0)
+            return k + 1;
+    }
+    return toks.size();
+}
+
+void
+parseFile(SourceFile &f)
+{
+    Parser p(f);
+    p.region(0, "", true);
+}
+
+void
+buildTaskIndex(Project &p)
+{
+    // name -> (seen returning Task, seen returning something else)
+    std::map<std::string, std::pair<bool, bool>> seen;
+    for (const SourceFile &f : p.files) {
+        for (const MemberDecl &d : f.members) {
+            auto &s = seen[d.name];
+            (d.returnsTask ? s.first : s.second) = true;
+        }
+        for (const FnDef &d : f.fns) {
+            auto &s = seen[d.name];
+            (d.returnsTask ? s.first : s.second) = true;
+        }
+    }
+    for (const auto &[name, s] : seen) {
+        if (s.first && !s.second)
+            p.taskFns.insert(name);
+        else if (s.first && s.second)
+            p.ambiguousTaskFns.insert(name);
+    }
+}
+
+} // namespace shrimp::analyze

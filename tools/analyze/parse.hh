@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Declaration/definition parser for shrimp_analyze.
+ *
+ * A lightweight recursive scan over the token stream — not a grammar.
+ * It recognizes exactly the shapes the rules need:
+ *
+ *  - function definitions with their body token ranges (namespace and
+ *    class scope; bodies are opaque to the scanner and are re-scanned
+ *    linearly by the rules),
+ *  - member/free function declarations with return-type classification
+ *    ("returns Task<...>" or not) and class access level,
+ *  - nothing else: expressions, templates and initializers are skipped
+ *    with balanced-token matching.
+ *
+ * After all files are parsed, buildTaskIndex() computes the cross-file
+ * set of function names that always return Task (name-based; names
+ * that are Task-returning in one declaration and not in another are
+ * excluded as ambiguous, trading false negatives for zero
+ * overload-confusion false positives).
+ */
+
+#ifndef SHRIMP_TOOLS_ANALYZE_PARSE_HH
+#define SHRIMP_TOOLS_ANALYZE_PARSE_HH
+
+#include "model.hh"
+
+namespace shrimp::analyze
+{
+
+/** Fill @p f.fns and @p f.members from @p f.toks. */
+void parseFile(SourceFile &f);
+
+/** Compute @p p.taskFns / @p p.ambiguousTaskFns from all parsed files. */
+void buildTaskIndex(Project &p);
+
+/** Index one past the token matching the opener at @p i (`(`, `{` or
+ *  `[`). Returns the end of @p toks if unbalanced. */
+std::size_t skipBalanced(const Tokens &toks, std::size_t i);
+
+} // namespace shrimp::analyze
+
+#endif // SHRIMP_TOOLS_ANALYZE_PARSE_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * dropped-task: a Task is lazy — a call whose returned Task is never
+ * co_awaited, spawned, returned or started is a simulated activity
+ * that silently does not happen. `[[nodiscard]]` (enforced by the
+ * lint) catches the bare-call form at compile time only when warnings
+ * are errors, and can never catch `auto t = f();` followed by nothing;
+ * this pass catches both.
+ *
+ * Per statement containing a call to an indexed Task-returning name:
+ *
+ *   - the statement co_awaits / returns / co_returns     -> consumed
+ *   - the call is nested inside another call's parens
+ *     (spawn(f()), vec.push_back(f()), if (ok(f()))...)  -> consumed
+ *     (ownership escapes; tracking it further needs an AST)
+ *   - assigned to a member or dereferenced target        -> consumed
+ *   - assigned to a local that appears again later
+ *     in the body                                        -> consumed
+ *   - assigned to a local never mentioned again          -> FINDING
+ *   - a bare expression statement                        -> FINDING
+ */
+
+#include <cstddef>
+
+#include "parse.hh"
+#include "rules.hh"
+
+namespace shrimp::analyze
+{
+
+namespace
+{
+
+bool
+identAppearsAfter(const Tokens &toks, std::size_t from, std::size_t end,
+                  const std::string &name)
+{
+    for (std::size_t k = from; k < end; ++k)
+        if (toks[k].ident() && toks[k].text == name)
+            return true;
+    return false;
+}
+
+/** Keywords that may directly precede a genuine call expression. Any
+ *  *other* identifier right before `name(` means `Type name(args)` — a
+ *  variable declaration whose name merely collides with a Task
+ *  function (e.g. `ServerCall call(...)`). */
+bool
+mayPrecedeCall(const Token &t)
+{
+    return !t.ident() ||
+           t.is("return") || t.is("co_return") || t.is("co_await") ||
+           t.is("co_yield") || t.is("else") || t.is("do") ||
+           t.is("case") || t.is("throw");
+}
+
+void
+scanStatement(const SourceFile &f, const FnDef &fn, std::size_t s,
+              std::size_t e, const Project &p,
+              const std::set<std::string> &shadowed,
+              std::vector<Finding> &out)
+{
+    const Tokens &toks = f.toks;
+
+    bool consumedAll = false;
+    for (std::size_t k = s; k < e; ++k) {
+        const Token &t = toks[k];
+        if (t.is("co_await") || t.is("co_return") || t.is("return") ||
+            t.is("co_yield")) {
+            consumedAll = true;
+            break;
+        }
+    }
+    if (consumedAll)
+        return;
+
+    int depth = 0;
+    std::size_t assignAt = std::string::npos;
+    for (std::size_t k = s; k < e; ++k) {
+        const Token &t = toks[k];
+        if (t.is("(") || t.is("["))
+            ++depth;
+        else if (t.is(")") || t.is("]"))
+            --depth;
+        else if (t.is("=") && depth == 0 && assignAt == std::string::npos)
+            assignAt = k;
+        else if (t.ident() && k + 1 < e && toks[k + 1].is("(") &&
+                 p.taskFns.count(t.text) != 0) {
+            if (depth > 0)
+                continue; // wrapped in another call: ownership escapes
+            if (shadowed.count(t.text) != 0)
+                continue; // rebound locally (a lambda), not the Task fn
+            if (k > s && !mayPrecedeCall(toks[k - 1]))
+                continue; // `Type name(args)`: declaration, not a call
+            if (k > fn.bodyBegin && toks[k - 1].is(">"))
+                continue; // `Foo<T> name(args)`: also a declaration
+            if (f.allows(t.line, "dropped-task"))
+                continue;
+            if (assignAt != std::string::npos && assignAt < k) {
+                // `lhs = f(...)`: find the stored name and look for any
+                // later mention in the body.
+                const Token &lhs = toks[assignAt - 1];
+                if (!lhs.ident())
+                    continue; // *p = / arr[i] = : escapes the analysis
+                if (assignAt >= 2 && (toks[assignAt - 2].is(".") ||
+                                      toks[assignAt - 2].is("->")))
+                    continue; // member target: escapes
+                if (identAppearsAfter(toks, e + 1, fn.bodyEnd, lhs.text))
+                    continue;
+                out.push_back(
+                    {"dropped-task", f.rel, t.line,
+                     fn.qualName + "/" + t.text + "/stored",
+                     "Task returned by '" + t.text + "()' is stored in '" +
+                         lhs.text + "' but '" + lhs.text +
+                         "' is never awaited, started, spawned or "
+                         "returned — the coroutine never runs"});
+                continue;
+            }
+            out.push_back(
+                {"dropped-task", f.rel, t.line,
+                 fn.qualName + "/" + t.text,
+                 "result of Task-returning '" + t.text +
+                     "()' is discarded — the coroutine is lazy and will "
+                     "never run; co_await it, spawn it, or return it"});
+        }
+    }
+}
+
+} // namespace
+
+void
+ruleDroppedTask(const Project &p, std::vector<Finding> &out)
+{
+    for (const SourceFile &f : p.files) {
+        for (const FnDef &fn : f.fns) {
+            // Names rebound inside this body (`auto drain = [...]`)
+            // shadow any same-named Task function in the index.
+            std::set<std::string> shadowed;
+            for (std::size_t k = fn.bodyBegin + 1;
+                 k + 3 < fn.bodyEnd; ++k) {
+                if (f.toks[k].is("auto") && f.toks[k + 1].ident() &&
+                    f.toks[k + 2].is("=") && f.toks[k + 3].is("["))
+                    shadowed.insert(f.toks[k + 1].text);
+            }
+
+            std::size_t stmt = fn.bodyBegin + 1;
+            int paren = 0;
+            for (std::size_t k = stmt; k < fn.bodyEnd; ++k) {
+                const Token &t = f.toks[k];
+                if (t.is("(") || t.is("["))
+                    ++paren;
+                else if (t.is(")") || t.is("]"))
+                    --paren;
+                else if ((t.is(";") && paren == 0) || t.is("{") ||
+                         t.is("}")) {
+                    if (k > stmt)
+                        scanStatement(f, fn, stmt, k, p, shadowed, out);
+                    stmt = k + 1;
+                    paren = 0;
+                }
+            }
+        }
+    }
+}
+
+} // namespace shrimp::analyze

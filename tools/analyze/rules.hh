@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The five shrimp_analyze rules. Each pass receives the fully parsed
+ * Project and appends Findings; suppression (annotations aside) is the
+ * baseline's job, not the rules'.
+ *
+ * Rule names (used in reports, baselines and `analyze: allow(...)`
+ * annotations):
+ *
+ *   dropped-task             a call to a Task-returning function whose
+ *                            result is neither co_awaited, spawned,
+ *                            returned, nor (if stored) ever consumed —
+ *                            a simulated activity that silently never
+ *                            runs. Catches the `auto t = f();` hole
+ *                            [[nodiscard]] cannot see.
+ *   suspend-under-exclusion  a co_await between a lock/bus `acquire()`
+ *                            and its `release()` in the same body —
+ *                            an interleaving point inside a region the
+ *                            code treats as exclusively held.
+ *   determinism              wall-clock/PRNG calls or iteration over
+ *                            pointer-keyed containers in src/sim and
+ *                            src/check — host-address-dependent order
+ *                            feeding simulated state or traces.
+ *   layering                 include-graph cycles anywhere, and
+ *                            includes that climb the layer order
+ *                            base < check/sim < mem/node < nic/net
+ *                            < vmmc < libraries.
+ *   charged-time             a public Task-returning entry point in
+ *                            nic/ or mem/ that never charges CPU/bus
+ *                            time (directly or through its callees)
+ *                            and is not annotated `analyze: free`.
+ */
+
+#ifndef SHRIMP_TOOLS_ANALYZE_RULES_HH
+#define SHRIMP_TOOLS_ANALYZE_RULES_HH
+
+#include "model.hh"
+
+namespace shrimp::analyze
+{
+
+void ruleDroppedTask(const Project &p, std::vector<Finding> &out);
+void ruleSuspendUnderExclusion(const Project &p, std::vector<Finding> &out);
+void ruleDeterminism(const Project &p, std::vector<Finding> &out);
+void ruleLayering(const Project &p, std::vector<Finding> &out);
+void ruleChargedTime(const Project &p, std::vector<Finding> &out);
+
+} // namespace shrimp::analyze
+
+#endif // SHRIMP_TOOLS_ANALYZE_RULES_HH

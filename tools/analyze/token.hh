@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Token model for shrimp_analyze, the project-native static analyzer.
+ *
+ * The analyzer tokenizes C++ sources itself (no clang dependency — the
+ * container image has none; see ROADMAP) and works on token streams
+ * rather than an AST. Tokens carry their line number so findings are
+ * clickable, and comments are consumed during lexing but mined for
+ * `analyze:` annotations before being dropped.
+ */
+
+#ifndef SHRIMP_TOOLS_ANALYZE_TOKEN_HH
+#define SHRIMP_TOOLS_ANALYZE_TOKEN_HH
+
+#include <string>
+#include <vector>
+
+namespace shrimp::analyze
+{
+
+enum class Tok
+{
+    Ident,  //!< identifier or keyword (co_await, return, ... included)
+    Number, //!< numeric literal
+    Str,    //!< string or char literal (contents dropped)
+    Punct,  //!< operator / punctuation; `>` is never fused into `>>`
+    End,    //!< one-past-last sentinel
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;
+    int line = 0;
+
+    bool is(const char *t) const { return text == t; }
+    bool ident() const { return kind == Tok::Ident; }
+};
+
+using Tokens = std::vector<Token>;
+
+} // namespace shrimp::analyze
+
+#endif // SHRIMP_TOOLS_ANALYZE_TOKEN_HH
