@@ -1,10 +1,14 @@
 #include "bench_util.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "base/logging.hh"
+#include "base/span.hh"
+#include "base/timeseries.hh"
 #include "base/trace.hh"
+#include "sim/profile.hh"
 
 namespace shrimp::bench
 {
@@ -28,6 +32,11 @@ void
 parseBenchFlags(int &argc, char **argv)
 {
     gProgName = basenameOf(argv[0]);
+    bool profile_requested = false;
+    std::string profile_path = "profile.json";
+    bool ts_requested = false;
+    std::string ts_path = "timeseries.jsonl";
+    Tick ts_period = 0; // 0 = timeseries module's default period
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--check-determinism") == 0) {
@@ -38,12 +47,41 @@ parseBenchFlags(int &argc, char **argv)
         } else if (std::strncmp(argv[i], "--update-golden=", 16) == 0) {
             gUpdateGoldenFile = argv[i] + 16;
             gCheckDeterminism = true;
+        } else if (std::strncmp(argv[i], "--span-sample=", 14) == 0) {
+            span::setSampleEvery(
+                std::strtoull(argv[i] + 14, nullptr, 10));
+        } else if (std::strcmp(argv[i], "--profile") == 0) {
+            profile_requested = true;
+        } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+            profile_requested = true;
+            profile_path = argv[i] + 10;
+        } else if (std::strcmp(argv[i], "--timeseries") == 0) {
+            ts_requested = true;
+        } else if (std::strncmp(argv[i], "--timeseries=", 13) == 0) {
+            ts_requested = true;
+            ts_path = argv[i] + 13;
+        } else if (std::strncmp(argv[i], "--timeseries-period=", 20) ==
+                   0) {
+            ts_requested = true;
+            ts_period = Tick(std::strtoull(argv[i] + 20, nullptr, 10));
         } else {
             argv[out++] = argv[i];
         }
     }
     argc = out;
     argv[argc] = nullptr;
+    // Host-cost profiling reads a wall clock. Readings never feed back
+    // into simulated state, but the determinism lanes exist precisely to
+    // certify "no wall-clock reads during simulation", so keep them pure.
+    if (profile_requested && gCheckDeterminism) {
+        warn("--profile is ignored under --check-determinism (the "
+             "determinism lane must not read the host clock)");
+        profile_requested = false;
+    }
+    if (profile_requested)
+        sim::profile::setOutputPath(profile_path);
+    if (ts_requested)
+        timeseries::configure(ts_path, ts_period);
     trace::parseCliFlags(argc, argv);
 }
 

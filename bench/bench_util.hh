@@ -76,6 +76,16 @@ void printTable(const std::string &header,
  *                         --check-determinism.
  *   --update-golden=FILE  append this binary's rows to FILE (run once
  *                         per bench to regenerate the golden set)
+ *   --span-sample=N       sample every Nth message origin into a causal
+ *                         flow span (base/span.hh); 0 = off (default)
+ *   --profile[=FILE]      accumulate per-subsystem host dispatch cost
+ *                         (sim/profile.hh) and dump FILE (default
+ *                         profile.json) at exit; ignored with a warning
+ *                         under --check-determinism
+ *   --timeseries[=FILE]   sample selected stat counters every
+ *                         --timeseries-period=TICKS of simulated time
+ *                         (default 10 us) into JSONL FILE (default
+ *                         timeseries.jsonl)
  *
  * plus everything trace::parseCliFlags handles (--trace=, --stats).
  * Every bench main calls this before doing any work.

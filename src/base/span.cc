@@ -1,0 +1,78 @@
+#include "base/span.hh"
+
+namespace shrimp::span
+{
+
+namespace detail
+{
+std::uint64_t gSampleEvery = 0;
+std::uint64_t gOriginSeen = 0;
+SpanId gNextId = 0;
+SpanId gStaged = 0;
+} // namespace detail
+
+void
+setSampleEvery(std::uint64_t n)
+{
+    detail::gSampleEvery = n;
+}
+
+SpanId
+origin(trace::TrackId track, const char *name, Tick tick)
+{
+    if (!on())
+        return 0;
+    // Deterministic modulo sampling: the first origin after reset() is
+    // always sampled, then every Nth after it, so a fixed workload
+    // samples a fixed set of messages.
+    if (detail::gOriginSeen++ % detail::gSampleEvery != 0)
+        return 0;
+    SpanId id = ++detail::gNextId;
+    trace::Tracer::instance().flow(track, name, tick,
+                                   trace::Tracer::Phase::FlowStart, id);
+    return id;
+}
+
+void
+step(SpanId id, trace::TrackId track, const char *name, Tick tick)
+{
+    if (id == 0 || !trace::on())
+        return;
+    trace::Tracer::instance().flow(track, name, tick,
+                                   trace::Tracer::Phase::FlowStep, id);
+}
+
+void
+finish(SpanId id, trace::TrackId track, const char *name, Tick tick)
+{
+    if (id == 0 || !trace::on())
+        return;
+    trace::Tracer::instance().flow(track, name, tick,
+                                   trace::Tracer::Phase::FlowEnd, id);
+}
+
+void
+stage(SpanId id)
+{
+    if (id != 0)
+        detail::gStaged = id;
+}
+
+SpanId
+takeStaged()
+{
+    SpanId id = detail::gStaged;
+    detail::gStaged = 0;
+    return id;
+}
+
+void
+reset()
+{
+    detail::gSampleEvery = 0;
+    detail::gOriginSeen = 0;
+    detail::gNextId = 0;
+    detail::gStaged = 0;
+}
+
+} // namespace shrimp::span

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Causal message spans: follow one sampled message across component
+ * boundaries.
+ *
+ * The tracer (base/trace.hh) shows what each component was doing on its
+ * own track; spans add the causal thread *between* tracks. At a message
+ * origin (vmmc::Endpoint::send, NX post, sock write, srpc call) the
+ * library asks for a span id; every Nth origin (--span-sample=N) gets a
+ * nonzero id and a FlowStart event. The id rides inside net::Packet
+ * next to the race clock, and each stage the packet passes through —
+ * packetizer combine/flush, NIC injection, every mesh hop, the incoming
+ * DMA, notification/delivery — records a FlowStep/FlowEnd on its own
+ * track. In the Chrome trace the chain renders as connected arrows
+ * ("ph":"s"/"t"/"f" events sharing an id), so one message's life is one
+ * line across the whole machine.
+ *
+ * Sampling is off by default (setSampleEvery(0)); every call here is a
+ * cheap branch in that state and nothing is recorded, so golden trace
+ * hashes are untouched. Sampling is a deterministic modulo counter, not
+ * a PRNG: two runs of the same workload sample the same messages and
+ * produce identical traces.
+ *
+ * Handoff between layers that cannot thread a parameter (a library
+ * stages a span, the packetizer consumes it when it forms the packet)
+ * goes through a single staged slot: stage() parks an id, takeStaged()
+ * claims and clears it. With concurrent in-flight sampled messages a
+ * later stage() can displace an unclaimed id — the displaced message
+ * simply loses its chain (attribution is best-effort and sampled) —
+ * but the displacement itself is driven by simulated event order, so it
+ * is identical run-to-run.
+ */
+
+#ifndef SHRIMP_BASE_SPAN_HH
+#define SHRIMP_BASE_SPAN_HH
+
+#include <cstdint>
+
+#include "base/trace.hh"
+#include "base/types.hh"
+
+namespace shrimp::span
+{
+
+/** Identifies one sampled message's flow chain. 0 = not sampled. */
+using SpanId = std::uint64_t;
+
+namespace detail
+{
+extern std::uint64_t gSampleEvery; //!< 0 = spans off
+extern std::uint64_t gOriginSeen;  //!< origins since reset (sampled or not)
+extern SpanId gNextId;
+extern SpanId gStaged;
+} // namespace detail
+
+/** Sample every Nth message origin; 0 disables spans entirely. */
+void setSampleEvery(std::uint64_t n);
+inline std::uint64_t sampleEvery() { return detail::gSampleEvery; }
+
+/** Spans record only when sampling is requested and tracing is on. */
+inline bool on() { return detail::gSampleEvery != 0 && trace::on(); }
+
+/**
+ * Called where a message is born. Returns a fresh nonzero id for every
+ * sampleEvery()-th origin (and records its FlowStart on @p track), 0
+ * otherwise.
+ */
+SpanId origin(trace::TrackId track, const char *name, Tick tick);
+
+/** Record a waypoint of span @p id on @p track. No-op when id == 0. */
+void step(SpanId id, trace::TrackId track, const char *name, Tick tick);
+
+/** Record the terminus of span @p id on @p track. No-op when id == 0. */
+void finish(SpanId id, trace::TrackId track, const char *name, Tick tick);
+
+/** Park @p id for the next takeStaged() (no-op when id == 0). */
+void stage(SpanId id);
+
+/** Claim and clear the staged id (0 if none staged). */
+SpanId takeStaged();
+
+/** Back to the boot state: sampling off, counters, staged id and the
+ *  id allocator cleared (tests). */
+void reset();
+
+} // namespace shrimp::span
+
+#endif // SHRIMP_BASE_SPAN_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Periodic time-series sampling of the StatRegistry, keyed to simulated
+ * time.
+ *
+ * The stats package reports end-of-run totals; the time-series sampler
+ * shows *when* the counts happened. Every period of simulated ticks the
+ * event loop (EventQueue::runOne) calls maybeSample(), which snapshots
+ * the live stat counters whose "group.stat" name matches a substring
+ * filter (link occupancy, queue depths, racecheck.readRecsDropped, ...)
+ * plus the event-queue pressure, into an in-memory row. At process exit
+ * the rows are written as JSON Lines — one object per sample:
+ *
+ *   {"tick":12000,"pending":37,"stats":{"nic0.eisa.busyNs":812, ...}}
+ *
+ * Sampling is passive (reads only) and driven by simulated ticks, so it
+ * never perturbs simulated behavior; when disabled (the default) the
+ * hook is a single branch per event. The sampler deliberately does NOT
+ * schedule its own events: a self-rescheduling sampler would keep the
+ * queue non-empty forever and break every run-to-drain simulation.
+ */
+
+#ifndef SHRIMP_BASE_TIMESERIES_HH
+#define SHRIMP_BASE_TIMESERIES_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace shrimp::timeseries
+{
+
+namespace detail
+{
+extern bool gOn;
+extern Tick gNextSample;
+void sampleNow(Tick now, std::size_t pending);
+} // namespace detail
+
+/** One snapshot of the selected counters at one simulated tick. */
+struct Sample
+{
+    Tick tick = 0;
+    std::size_t pending = 0; //!< event-queue pressure at the sample
+    std::vector<std::pair<std::string, std::uint64_t>> stats;
+};
+
+/**
+ * Enable sampling every @p period simulated ticks (0 = default 10 us),
+ * writing JSONL to @p path at process exit ("" = keep samples in memory
+ * only; tests read them back via samples()).
+ */
+void configure(const std::string &path, Tick period = 0);
+
+/** Restrict sampled counters to names containing any of @p substrings
+ *  (the default filter covers occupancy/queue/drop counters). An empty
+ *  list samples every live counter. */
+void setKeyFilter(std::vector<std::string> substrings);
+
+inline bool on() { return detail::gOn; }
+
+/** Event-loop hook: samples iff enabled and @p now reached the next
+ *  sample tick. One branch when disabled. */
+inline void
+maybeSample(Tick now, std::size_t pending)
+{
+    if (detail::gOn && now >= detail::gNextSample)
+        detail::sampleNow(now, pending);
+}
+
+const std::vector<Sample> &samples();
+
+/** Emit all samples as JSON Lines. */
+void writeJsonl(std::ostream &os);
+
+/** writeJsonl() to @p path; warns and returns false on I/O failure. */
+bool writeJsonlFile(const std::string &path);
+
+/** Disable sampling and drop collected samples (tests). */
+void reset();
+
+} // namespace shrimp::timeseries
+
+#endif // SHRIMP_BASE_TIMESERIES_HH

@@ -67,6 +67,12 @@ Tracer::hash() const
         mix(&th, sizeof(th));
         mix(e.name, std::strlen(e.name) + 1);
         mix(&e.phase, sizeof(e.phase));
+        // Flow ids participate only for flow events, so the hash of a
+        // stream recorded without spans is bit-identical to what this
+        // function produced before flow phases existed (the golden
+        // hashes in tests/golden_trace_hashes.txt must not move).
+        if (e.phase >= Phase::FlowStart)
+            mix(&e.id, sizeof(e.id));
     }
     return h;
 }
@@ -147,6 +153,15 @@ Tracer::writeJson(std::ostream &os) const
           case Phase::Instant:
             os << 'i';
             break;
+          case Phase::FlowStart:
+            os << 's';
+            break;
+          case Phase::FlowStep:
+            os << 't';
+            break;
+          case Phase::FlowEnd:
+            os << 'f';
+            break;
         }
         os << "\",\"name\":";
         writeJsonString(os, e.name);
@@ -154,6 +169,12 @@ Tracer::writeJson(std::ostream &os) const
         writeTs(os, e.tick);
         if (e.phase == Phase::Instant)
             os << ",\"s\":\"t\"";
+        if (e.phase >= Phase::FlowStart) {
+            // Flow events carry the chain id; bp:"e" binds each arrow
+            // endpoint to the enclosing slice so viewers draw the chain
+            // through the actual spans on each track.
+            os << ",\"cat\":\"span\",\"id\":" << e.id << ",\"bp\":\"e\"";
+        }
         os << '}';
     }
     os << "\n]}\n";

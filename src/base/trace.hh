@@ -51,9 +51,12 @@ class Tracer
     /** Event phases, mirroring the Chrome trace-event "ph" field. */
     enum class Phase : std::uint8_t
     {
-        Begin,   //!< "B": span start
-        End,     //!< "E": span end
-        Instant, //!< "i": point event
+        Begin,     //!< "B": span start
+        End,       //!< "E": span end
+        Instant,   //!< "i": point event
+        FlowStart, //!< "s": causal flow origin (base/span.hh)
+        FlowStep,  //!< "t": causal flow waypoint
+        FlowEnd,   //!< "f": causal flow terminus
     };
 
     struct Event
@@ -63,6 +66,8 @@ class Tracer
         /** Event name. Must outlive the Tracer (string literals). */
         const char *name;
         Phase phase;
+        /** Flow id linking FlowStart/Step/End chains; 0 otherwise. */
+        std::uint64_t id = 0;
     };
 
     /** The process-wide tracer all instrumentation records into. */
@@ -95,6 +100,15 @@ class Tracer
     instant(TrackId t, const char *name, Tick tick)
     {
         events_.push_back(Event{tick, t, name, Phase::Instant});
+    }
+
+    /** Record one link of a causal flow chain (see base/span.hh). All
+     *  events recorded with the same @p id render as one arrow chain. */
+    void
+    flow(TrackId t, const char *name, Tick tick, Phase phase,
+         std::uint64_t id)
+    {
+        events_.push_back(Event{tick, t, name, phase, id});
     }
 
     const std::vector<Event> &events() const { return events_; }

@@ -34,11 +34,6 @@ overlaps(PAddr lo1, PAddr hi1, PAddr lo2, PAddr hi2)
     return lo1 < hi2 && lo2 < hi1;
 }
 
-/** Cap on retained read records per page; oldest are dropped first.
- *  Dropping can only hide a conflict (false-negative-safe), never
- *  invent one. */
-constexpr std::size_t maxReadRecs = 32;
-
 } // namespace
 
 RaceDetector &
@@ -164,7 +159,7 @@ RaceDetector::noteReadRecDropped(const MemState &ms, PageNum p)
         "of %zu reached): a write-after-read conflict against the "
         "dropped read can no longer be detected; stats group 'racecheck' "
         "counts further drops",
-        ms.name.c_str(), unsigned(p), maxReadRecs));
+        ms.name.c_str(), unsigned(p), readRecCap_));
 }
 
 std::vector<std::uint64_t> &
@@ -457,7 +452,7 @@ RaceDetector::onRead(const void *mem, PAddr addr, std::size_t n, Tick now)
         // Records are deliberately NOT coalesced: merging adjacent reads
         // under one (max) clock would make a properly-acknowledged ring
         // slot look like it was read after the ack.
-        if (sh.reads.size() >= maxReadRecs) {
+        if (sh.reads.size() >= readRecCap_) {
             sh.reads.erase(sh.reads.begin());
             noteReadRecDropped(ms, p);
         }

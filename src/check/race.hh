@@ -303,11 +303,25 @@ class RaceDetector
     stats::Counter &statReadRecsDropped_ =
         stats_.counter("readRecsDropped");
     bool warnedReadRecDrop_ = false;
+    //! Per-page read-record cap; oldest records are dropped first.
+    //! Dropping can only hide a conflict (false-negative-safe), never
+    //! invent one. MachineConfig::raceReadRecCap overrides the default.
+    std::size_t readRecCap_ = 32;
 
   public:
     std::uint64_t readRecsDropped() const
     {
         return statReadRecsDropped_.value();
+    }
+
+    std::size_t readRecCap() const { return readRecCap_; }
+
+    /** Set the per-page read-record cap (>= 1; applied by the Machine
+     *  from MachineConfig::raceReadRecCap). */
+    void
+    setReadRecCap(std::size_t cap)
+    {
+        readRecCap_ = cap ? cap : 1;
     }
 };
 

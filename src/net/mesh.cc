@@ -1,7 +1,9 @@
 #include "net/mesh.hh"
 
 #include "base/logging.hh"
+#include "base/span.hh"
 #include "check/check.hh"
+#include "sim/profile.hh"
 
 namespace shrimp::net
 {
@@ -98,6 +100,7 @@ Mesh::inject(Packet pkt)
     statPacketsInjected_ += 1;
     statBytesInjected_ += pkt.payload.size();
     statHops_.sample(double(hops(pkt.src, pkt.dst)));
+    sim::profile::Scope prof(sim::profile::Subsys::Mesh);
     sim_.spawn(routeTask(std::move(pkt)));
 }
 
@@ -111,11 +114,17 @@ Mesh::routeTask(Packet pkt)
         co_await routers_[cur]->forward(pkt, d);
         SHRIMP_CHECK_HOOK(
             check::SimChecker::instance().onMeshHop(this, pkt.seq));
+        // One flow waypoint per hop, on the router whose link just
+        // carried the packet: the viewer draws the XY route.
+        span::step(pkt.spanId, routerTracks_[cur], "hop",
+                   sim_.queue().now());
         cur = next;
     }
     ++delivered_;
     statPacketsDelivered_ += 1;
     trace::instant(routerTracks_[cur], "pkt.ejected", sim_.queue().now());
+    span::step(pkt.spanId, routerTracks_[cur], "pkt.eject",
+               sim_.queue().now());
     SHRIMP_CHECK_HOOK(check::SimChecker::instance().onMeshEject(
         this, cur, pkt.src, pkt.dst, pkt.seq));
     routers_[cur]->eject(std::move(pkt));

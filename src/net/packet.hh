@@ -43,6 +43,11 @@ struct Packet
     /** Injection sequence number, for debugging and order checks. */
     std::uint64_t seq = 0;
 
+    /** Causal span id (base/span.hh) when this packet's message was
+     *  sampled for flow tracing; 0 otherwise. Rides next to the race
+     *  clock: observability metadata, never simulated behavior. */
+    std::uint64_t spanId = 0;
+
 #ifdef SHRIMP_CHECK
     /** Sender's vector clock at packet formation; the incoming engine
      *  joins it before the delivery DMA (race-detector edge). */

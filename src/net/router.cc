@@ -28,6 +28,7 @@ Router::connect(Dir d)
             queue_, linkBw_,
             "router" + std::to_string(id_) + ".link" +
                 std::to_string(int(d)));
+        link->setProfileSubsys(sim::profile::Subsys::Router);
     }
 }
 

@@ -7,6 +7,7 @@
 #include "base/logging.hh"
 #include "check/check.hh"
 #include "check/race.hh"
+#include "sim/profile.hh"
 
 namespace shrimp::nic
 {
@@ -25,7 +26,8 @@ DeliberateUpdateEngine::DeliberateUpdateEngine(const MachineConfig &cfg,
 
 sim::Task<>
 DeliberateUpdateEngine::send(const OptEntry &dst, std::size_t dst_off,
-                             PAddr src, std::size_t len, bool notify)
+                             PAddr src, std::size_t len, bool notify,
+                             span::SpanId span)
 {
     if (!dst.valid)
         panic("DU send through invalid OPT slot");
@@ -51,10 +53,12 @@ DeliberateUpdateEngine::send(const OptEntry &dst, std::size_t dst_off,
 
         // DMA-read the source data over the EISA bus.
         co_await eisa_.transfer(chunk, cfg_.dmaReadSetup);
+        sim::profile::retag(sim::profile::Subsys::Du);
 
         net::Packet pkt;
         pkt.dst = dst.destNode;
         pkt.destAddr = dest_addr;
+        pkt.spanId = span;
         pkt.payload.resize(chunk);
         {
             // The DMA read is the engine's access, not the caller's.

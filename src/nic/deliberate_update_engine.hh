@@ -18,6 +18,7 @@
 #include <cstddef>
 
 #include "base/config.hh"
+#include "base/span.hh"
 #include "mem/memory.hh"
 #include "nic/outgoing_page_table.hh"
 #include "nic/packetizer.hh"
@@ -43,11 +44,13 @@ class DeliberateUpdateEngine
      *        the wire, as the hardware does)
      * @param notify set the sender-specified interrupt flag on the last
      *        packet of the transfer
+     * @param span sampled flow id stamped into every packet of the
+     *        transfer (0 = message not sampled)
      *
      * Completes when the source data has been fully read from memory.
      */
     sim::Task<> send(const OptEntry &dst, std::size_t dst_off, PAddr src,
-                     std::size_t len, bool notify);
+                     std::size_t len, bool notify, span::SpanId span = 0);
 
     std::uint64_t transfers() const { return transfers_; }
     std::uint64_t bytesSent() const { return bytesSent_; }

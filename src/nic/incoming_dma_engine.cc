@@ -1,8 +1,10 @@
 #include "nic/incoming_dma_engine.hh"
 
 #include "base/logging.hh"
+#include "base/span.hh"
 #include "check/check.hh"
 #include "check/race.hh"
+#include "sim/profile.hh"
 
 namespace shrimp::nic
 {
@@ -36,6 +38,7 @@ IncomingDmaEngine::loop()
 {
     for (;;) {
         net::Packet pkt = co_await input_.recv();
+        sim::profile::retag(sim::profile::Subsys::Dma);
         std::size_t len = pkt.payload.size();
         PageNum page = mem_.pageOf(pkt.destAddr);
 
@@ -77,6 +80,7 @@ IncomingDmaEngine::loop()
             this, pkt.src, pkt.seq,
             ipt_.rangeEnabled(pkt.destAddr, len, cfg_.pageBytes)));
         co_await eisa_.transfer(len, cfg_.dmaWriteSetup);
+        sim::profile::retag(sim::profile::Subsys::Dma);
         {
             // The delivery write is ordered after the sender's clock at
             // packet formation and after the export-window handshake.
@@ -94,10 +98,23 @@ IncomingDmaEngine::loop()
         trace::instant(track_, "pkt.delivered", sim_.queue().now());
         noteDone(pkt.destAddr);
 
-        if (pkt.senderInterrupt && ipt_.interrupt(page)) {
+        const bool willNotify =
+            pkt.senderInterrupt && ipt_.interrupt(page);
+        // The chain ends where the data becomes visible: at the
+        // notification when one fires, else at the delivery DMA.
+        if (willNotify) {
+            span::step(pkt.spanId, track_, "pkt.deliver",
+                       sim_.queue().now());
+        } else {
+            span::finish(pkt.spanId, track_, "pkt.deliver",
+                         sim_.queue().now());
+        }
+
+        if (willNotify) {
             ++notifications_;
             statNotifications_ += 1;
             trace::instant(track_, "notify", sim_.queue().now());
+            span::finish(pkt.spanId, track_, "notify", sim_.queue().now());
             if (notifyHandler_) {
                 // The handler chain runs synchronously up to the handoff
                 // to the notified process (any spawned delivery task

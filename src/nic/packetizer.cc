@@ -3,8 +3,10 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "base/span.hh"
 #include "check/check.hh"
 #include "check/race.hh"
+#include "sim/profile.hh"
 
 namespace shrimp::nic
 {
@@ -85,6 +87,11 @@ Packetizer::startPending(const OptEntry &e, PAddr dest_addr,
     pkt.dst = e.destNode;
     pkt.destAddr = dest_addr;
     pkt.senderInterrupt = e.destInterrupt;
+    // A sampled automatic-update message stages its span before the
+    // stores; the packet that the first store opens claims it, and
+    // every write combined into the packet joins the same parent span.
+    pkt.spanId = span::takeStaged();
+    span::step(pkt.spanId, track_, "pkt.start", sim_.queue().now());
     const auto *bytes = static_cast<const std::uint8_t *>(data);
     pkt.payload.assign(bytes, bytes + len);
     pending_ = std::move(pkt);
@@ -97,6 +104,10 @@ Packetizer::armTimer()
     if (!pendingTimerEnabled_)
         return;
     std::uint64_t gen = ++timerGen_;
+    // The flush timer belongs to the packetizer even though it is armed
+    // from inside the CPU's store (Scope, not retag: the rest of the
+    // store stays attributed to the CPU).
+    sim::profile::Scope prof(sim::profile::Subsys::Packetizer);
     sim_.queue().scheduleIn(cfg_.auCombineTimeout, [this, gen] {
         if (pending_ && gen == timerGen_) {
             ++timerFlushes_;
@@ -127,6 +138,7 @@ Packetizer::flushPending()
     statBytesFormed_ += pending_->payload.size();
     statPacketBytes_.sample(double(pending_->payload.size()));
     trace::instant(track_, "pkt.formed", sim_.queue().now());
+    span::step(pending_->spanId, track_, "pkt.flush", sim_.queue().now());
     outFifo_.send(std::move(*pending_));
     pending_.reset();
 }
@@ -143,6 +155,7 @@ Packetizer::duPacket(net::Packet pkt)
     statBytesFormed_ += pkt.payload.size();
     statPacketBytes_.sample(double(pkt.payload.size()));
     trace::instant(track_, "pkt.formed", sim_.queue().now());
+    span::step(pkt.spanId, track_, "pkt.flush", sim_.queue().now());
     outFifo_.send(std::move(pkt));
 }
 

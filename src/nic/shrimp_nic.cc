@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "check/check.hh"
+#include "sim/profile.hh"
 
 namespace shrimp::nic
 {
@@ -44,6 +45,7 @@ ShrimpNic::pumpLoop()
 {
     for (;;) {
         net::Packet pkt = co_await outFifo_.recv();
+        sim::profile::retag(sim::profile::Subsys::Nic);
         // Arbiter + NIC processor port + packet-header formation.
         co_await sim::Delay{sim_.queue(),
                             cfg_.nicForwardCost + cfg_.snoopPacketizeCost};
@@ -56,6 +58,7 @@ ShrimpNic::pumpLoop()
         pkt.seq = injected_;
         statPacketsInjected_ += 1;
         trace::instant(track_, "pkt.injected", sim_.queue().now());
+        span::step(pkt.spanId, track_, "pkt.inject", sim_.queue().now());
         inject_(std::move(pkt));
     }
 }
@@ -82,14 +85,15 @@ ShrimpNic::snoopWrite(PAddr addr, const void *data, std::size_t len)
 
 sim::Task<>
 ShrimpNic::deliberateSend(std::uint32_t slot, std::size_t dst_off,
-                          PAddr src, std::size_t len, bool notify)
+                          PAddr src, std::size_t len, bool notify,
+                          span::SpanId span)
 {
     const OptEntry *e = opt_.slot(slot);
     if (!e)
         panic("deliberateSend through unknown import slot");
     SHRIMP_CHECK_HOOK(check::SimChecker::instance().onOptUse(
         self_, e->valid, e->destNode, dst_off, len, e->len));
-    co_await duEngine_.send(*e, dst_off, src, len, notify);
+    co_await duEngine_.send(*e, dst_off, src, len, notify, span);
 }
 
 } // namespace shrimp::nic

@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "base/config.hh"
+#include "base/span.hh"
 #include "base/stats.hh"
 #include "base/trace.hh"
 #include "mem/memory.hh"
@@ -59,9 +60,11 @@ class ShrimpNic
      * Deliberate-update transfer through import slot @p slot. The CPU's
      * two initiation accesses are charged by the caller; this models
      * the engine work and blocks until the source has been read.
+     * @param span sampled flow id carried into the packets (0 = none).
      */
     sim::Task<> deliberateSend(std::uint32_t slot, std::size_t dst_off,
-                               PAddr src, std::size_t len, bool notify);
+                               PAddr src, std::size_t len, bool notify,
+                               span::SpanId span = 0);
 
     NodeId id() const { return self_; }
     OutgoingPageTable &opt() { return opt_; }

@@ -1,5 +1,7 @@
 #include "node/cpu.hh"
 
+#include "sim/profile.hh"
+
 namespace shrimp::node
 {
 
@@ -15,6 +17,7 @@ sim::Task<>
 Cpu::use(Tick t)
 {
     co_await lock_.acquire();
+    sim::profile::retag(sim::profile::Subsys::Cpu);
     trace::ScopedSpan span(queue_, track_, "compute");
     // analyze: allow(suspend-under-exclusion) — this Delay IS the
     // occupancy being modeled; the lock is held exactly for its span.

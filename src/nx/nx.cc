@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "base/span.hh"
 
 namespace shrimp::nx
 {
@@ -92,6 +93,9 @@ NxProc::csend(long type, VAddr buf, std::size_t len, int dest)
 {
     node::Process &proc = ep_.proc();
     trace::ScopedSpan span(proc.sim(), track_, "csend");
+    // Message origin: stage the (maybe-)sampled id; the vmmc send or
+    // the packetizer claims it when the data actually moves.
+    span::stage(span::origin(track_, "nx.csend", proc.sim().now()));
     stats_.counter("csends") += 1;
     stats_.counter("sentBytes") += len;
     stats_.distribution("csendBytes").sample(double(len));

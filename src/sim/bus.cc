@@ -29,7 +29,11 @@ Bus::occupancy(std::size_t bytes, Tick setup) const
 Task<>
 Bus::transfer(std::size_t bytes, Tick setup)
 {
+    // The queueing and occupancy events this coroutine schedules are
+    // the bus's own cost, whoever initiated the transfer.
+    profile::retag(profSubsys_);
     co_await lock_.acquire();
+    profile::retag(profSubsys_);
     SHRIMP_CHECK_HOOK(
         check::SimChecker::instance().onBusTransferStart(this, bytes));
     trace::ScopedSpan span(queue_, track_, "xfer");

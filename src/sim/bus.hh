@@ -15,6 +15,7 @@
 #include "base/stats.hh"
 #include "base/trace.hh"
 #include "base/types.hh"
+#include "sim/profile.hh"
 #include "sim/sync.hh"
 #include "sim/task.hh"
 
@@ -46,9 +47,14 @@ class Bus
     std::uint64_t transactions() const { return transactions_; }
     stats::Group &stats() { return stats_; }
 
+    /** Profiler subsystem this bus's occupancy is attributed to
+     *  (default Bus; a router tags its links Router). */
+    void setProfileSubsys(profile::Subsys s) { profSubsys_ = s; }
+
   private:
     EventQueue &queue_;
     double bw_;
+    profile::Subsys profSubsys_ = profile::Subsys::Bus;
     std::uint64_t bps_; //!< bw_ in whole bytes/s; see units::transferTime
     Semaphore lock_;
     Tick busyTime_ = 0;

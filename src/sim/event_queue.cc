@@ -4,8 +4,10 @@
 #include <utility>
 
 #include "base/logging.hh"
+#include "base/timeseries.hh"
 #include "check/check.hh"
 #include "check/race.hh"
+#include "sim/profile.hh"
 #include "sim/simulator.hh"
 
 namespace shrimp::sim
@@ -72,6 +74,12 @@ EventQueue::prepare(Tick when)
     n->when = when;
     n->seq = nextSeq_++;
     n->next = nullptr;
+    // Tag inheritance: the event belongs to whatever subsystem is
+    // scheduling right now (set by the dispatcher below, refined by
+    // profile::retag/Scope at component sites). Tags are only consumed
+    // while timing, so the off path pays one predictable branch.
+    n->subsys =
+        profile::detail::gTiming ? profile::detail::gCurrent : 0;
     return n;
 }
 
@@ -219,7 +227,19 @@ EventQueue::runOne()
             q.freeNode(n);
         }
     } release{*this, n};
-    n->invoke(*n);
+    if (profile::detail::gTiming) {
+        // Events scheduled by this callable inherit its subsystem tag.
+        profile::detail::gCurrent = n->subsys;
+        const std::uint64_t t0 = profile::hostNow();
+        n->invoke(*n);
+        // Attribute to the *post*-invoke tag: a coroutine that retags
+        // at its resume point claims the whole dispatch.
+        profile::recordDispatch(profile::current(),
+                                profile::hostNow() - t0, size_);
+    } else {
+        n->invoke(*n);
+    }
+    timeseries::maybeSample(now_, size_);
     return true;
 }
 

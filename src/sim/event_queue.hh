@@ -129,6 +129,10 @@ class EventQueue
         EventNode *next; //!< bucket FIFO / free-list link
         void (*invoke)(EventNode &);
         void (*destroy)(EventNode &); //!< callable dtor; null if trivial
+        //! Owning subsystem (sim/profile.hh), stamped at schedule time.
+        //! Lives in padding the max_align_t storage forces anyway, so
+        //! the node layout and pool behavior are unchanged.
+        std::uint8_t subsys;
         alignas(std::max_align_t)
             unsigned char storage[inlineCallableBytes];
     };

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Host-cost profiler for the event loop: where do the *host*
+ * nanoseconds go, per simulated subsystem?
+ *
+ * Every EventNode carries a one-byte subsystem tag, stamped at schedule
+ * time from a process-wide "current subsystem" that the dispatcher sets
+ * from the tag of the event being run. Tags therefore flow along
+ * causal chains automatically (an event scheduled while a Cpu-tagged
+ * event runs is itself Cpu-tagged); components sharpen attribution with
+ * retag() at coroutine resume points (top of a datapath loop body) and
+ * Scope for synchronous schedule sites (a packetizer arming its flush
+ * timer from inside a CPU store should not relabel the store).
+ *
+ * When profiling is enabled the dispatcher reads the host steady clock
+ * around each callback and accumulates {events, host-ns} per subsystem
+ * plus queue-pressure gauges, dumped as profile.json at exit. The clock
+ * read is the only wall-clock source in the simulator core and it is
+ * fenced twice: it never runs unless --profile was given (host_perf and
+ * the determinism lanes pay one predictable branch per event), and
+ * bench_util refuses to combine --profile with --check-determinism so
+ * the attribution can never be mistaken for simulated behavior. The
+ * profiler only *observes* dispatch — tags and timings never feed back
+ * into simulated state, so enabling it cannot change a trace hash.
+ */
+
+#ifndef SHRIMP_SIM_PROFILE_HH
+#define SHRIMP_SIM_PROFILE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace shrimp::sim::profile
+{
+
+/** Who owns an event: the subsystem that scheduled it (directly or via
+ *  tag inheritance along the causal chain). */
+enum class Subsys : std::uint8_t
+{
+    Other,      //!< untagged: harness, test glue, library bookkeeping
+    Cpu,        //!< CPU cost model (compute slices, poll checks)
+    Bus,        //!< generic sim::Bus occupancy (EISA, memory paths)
+    Mesh,       //!< mesh injection/ejection and route stepping
+    Router,     //!< per-hop router forwarding and link occupancy
+    Packetizer, //!< AU combining and flush timers
+    Nic,        //!< NIC processor port (outgoing pump)
+    Du,         //!< deliberate-update (DMA read) engine
+    Dma,        //!< incoming DMA engine (receive side)
+    Notify,     //!< notification delivery
+    Ether,      //!< Ethernet control network
+    NumSubsys,
+};
+
+constexpr std::size_t numSubsys = std::size_t(Subsys::NumSubsys);
+
+/** Short stable name ("cpu", "mesh", ...) used in profile.json. */
+const char *name(Subsys s);
+
+namespace detail
+{
+extern std::uint8_t gCurrent;
+extern bool gTiming;
+} // namespace detail
+
+/** Subsystem attributed to work scheduled right now. */
+inline Subsys current() { return Subsys(detail::gCurrent); }
+
+/** Set the current subsystem. Use at coroutine resume points (the tag
+ *  sticks for the rest of the dispatched event). */
+inline void retag(Subsys s) { detail::gCurrent = std::uint8_t(s); }
+
+/** Scoped retag for synchronous schedule sites. */
+class Scope
+{
+  public:
+    explicit Scope(Subsys s) : prev_(detail::gCurrent) { retag(s); }
+    ~Scope() { detail::gCurrent = prev_; }
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    std::uint8_t prev_;
+};
+
+/** Is dispatch timing (the host clock read) active? */
+inline bool timing() { return detail::gTiming; }
+
+/** Turn dispatch timing on/off. */
+void setTiming(bool on);
+
+/** Enable timing and write profile.json to @p path at process exit. */
+void setOutputPath(const std::string &path);
+const std::string &outputPath();
+
+/** Host steady-clock nanoseconds. Only the dispatcher calls this, and
+ *  only when timing() — see the file comment on determinism fencing. */
+std::uint64_t hostNow();
+
+/** Dispatcher hook: one event of subsystem @p s took @p host_ns with
+ *  @p pending events left in the queue. */
+void recordDispatch(Subsys s, std::uint64_t host_ns, std::size_t pending);
+
+/** Accumulated per-subsystem totals. */
+struct Row
+{
+    std::uint64_t events = 0;
+    std::uint64_t hostNs = 0;
+};
+
+const Row &row(Subsys s);
+
+/** Dump accumulated totals as JSON, subsystems ranked by host-ns. */
+void writeJson(std::ostream &os);
+
+/** writeJson() to @p path; warns and returns false on I/O failure. */
+bool writeJsonFile(const std::string &path);
+
+/** Zero all accumulators and disable timing (tests). */
+void reset();
+
+} // namespace shrimp::sim::profile
+
+#endif // SHRIMP_SIM_PROFILE_HH

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "base/span.hh"
 #include "node/ether.hh"
 
 namespace shrimp::sock
@@ -159,6 +160,9 @@ SocketLib::send(int fd, VAddr buf, std::size_t len)
 {
     node::Process &proc = ep_.proc();
     trace::ScopedSpan span(proc.sim(), track_, "send");
+    // Message origin: the staged id is claimed by whichever packet the
+    // stream's first store (or deliberate transfer) forms.
+    span::stage(span::origin(track_, "sock.send", proc.sim().now()));
     stats_.counter("sends") += 1;
     stats_.counter("sentBytes") += len;
     co_await proc.compute(proc.config().libCallCost);

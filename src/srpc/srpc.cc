@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "base/span.hh"
 
 namespace shrimp::srpc
 {
@@ -228,6 +229,9 @@ SrpcClient::call(std::uint32_t proc, std::vector<Param> params)
     // The specialized stub's software overhead is tiny (paper: under
     // 1 us): a couple of checks and the marshal below.
     co_await p.compute(2 * p.config().cpuOpCost);
+    // Call origin: staged just before the marshaled stores, so the
+    // combined argument packet claims the id.
+    span::stage(span::origin(track_, "srpc.call", p.sim().now()));
     VAddr start = buf_ + VAddr(iface_.argAreaBytes() - arg_bytes);
     co_await p.write(start, marshal.data(), marshal.size());
 

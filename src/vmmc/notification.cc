@@ -1,5 +1,7 @@
 #include "vmmc/notification.hh"
 
+#include "sim/profile.hh"
+
 namespace shrimp::vmmc
 {
 
@@ -24,6 +26,7 @@ NotificationQueue::deliverTask(Endpoint &endpoint, Notification n,
                                NotifyHandler handler)
 {
     const MachineConfig &cfg = proc_.config();
+    sim::profile::retag(sim::profile::Subsys::Notify);
     Tick cost = cfg.fastNotifications ? cfg.fastNotifyCost
                                       : cfg.signalDeliveryCost;
     co_await proc_.compute(cost);

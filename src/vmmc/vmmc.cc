@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/span.hh"
 #include "check/check.hh"
 #include "check/race.hh"
 
@@ -143,6 +144,12 @@ Endpoint::send(int handle, std::size_t dst_off, VAddr src, std::size_t len,
 {
     const MachineConfig &cfg = proc_.config();
     trace::ScopedSpan span(proc_.sim(), track_, "send");
+    // This send is a message origin unless an upper library (NX, SRPC)
+    // already staged a span for it; either way the id is claimed here,
+    // synchronously, before the first suspension below.
+    span::SpanId sp = span::takeStaged();
+    if (sp == 0)
+        sp = span::origin(track_, "msg.send", proc_.sim().now());
     const ImportRec *rec = lookupImport(handle);
     if (!rec)
         co_return Status::BadHandle;
@@ -168,7 +175,7 @@ Endpoint::send(int handle, std::size_t dst_off, VAddr src, std::size_t len,
     SHRIMP_CHECK_HOOK(check::RaceDetector::instance().handoff(
         proc_.raceActor(), proc_.node().nic().duEngine().raceActor()));
     co_await proc_.node().nic().deliberateSend(rec->slot, dst_off, src_pa,
-                                               len, notify);
+                                               len, notify, sp);
     // The blocking send completes when the last source byte has been
     // read out: the CPU is ordered after the engine's DMA reads and may
     // reuse the buffer.

@@ -190,6 +190,13 @@ TEST(Config, RejectsCombineLimitAbovePacketSize)
     EXPECT_THROW(cfg.validate(), FatalError);
 }
 
+TEST(Config, RejectsZeroRaceReadRecCap)
+{
+    MachineConfig cfg;
+    cfg.raceReadRecCap = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
 TEST(Config, RejectsNonPositiveBandwidth)
 {
     MachineConfig cfg;

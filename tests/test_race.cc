@@ -439,6 +439,35 @@ TEST_F(RaceTest, ReadRecordDropsPastTheCapAreCounted)
     EXPECT_TRUE(checker().violations().empty());
 }
 
+TEST_F(RaceTest, ReadRecordCapIsConfigurable)
+{
+    auto cpu = race().registerActor("node0.p0", check::ActorKind::Cpu);
+    auto dma = race().registerActor("node0.dma", check::ActorKind::Dma);
+    race().handoff(cpu, dma);
+    const std::size_t saved = race().readRecCap();
+    race().setReadRecCap(8);
+    const std::uint64_t before = race().readRecsDropped();
+    for (int i = 0; i < 40; ++i)
+        read(cpu, PAddr(0x1000 + i * 64), 32, Tick(100 + i));
+    EXPECT_EQ(race().readRecsDropped(), before + 32);
+    // A zero cap clamps to 1: the newest read is always recorded.
+    race().setReadRecCap(0);
+    EXPECT_EQ(race().readRecCap(), 1u);
+    race().setReadRecCap(saved);
+}
+
+#ifdef SHRIMP_CHECK
+TEST_F(RaceTest, MachineConfigPlumbsReadRecCap)
+{
+    const std::size_t saved = race().readRecCap();
+    MachineConfig cfg;
+    cfg.raceReadRecCap = 5;
+    node::Machine m(cfg);
+    EXPECT_EQ(race().readRecCap(), 5u);
+    race().setReadRecCap(saved);
+}
+#endif
+
 TEST_F(RaceTest, ActorsAreDeduplicatedByName)
 {
     auto a = race().registerActor("node0.p0", check::ActorKind::Cpu);
