@@ -288,32 +288,9 @@ SimChecker::onShadowAppend(const void *packetizer, NodeId dst, PAddr addr,
     sh.bytes.insert(sh.bytes.end(), bytes, bytes + len);
 }
 
-void
-SimChecker::onShadowFlush(const void *packetizer, const net::Packet &pkt)
-{
-    numChecks_ += 1;
-    auto it = shadows_.find(packetizer);
-    if (it == shadows_.end() || !it->second.active)
-        return; // checking enabled mid-run; nothing recorded to compare
-    Shadow &sh = it->second;
-    if (pkt.dst != sh.dst || pkt.destAddr != sh.base) {
-        violation(logging::format(
-            "combined packet header diverged from uncombined shadow: "
-            "dst %u@0x%x vs shadow %u@0x%x",
-            unsigned(pkt.dst), unsigned(pkt.destAddr), unsigned(sh.dst),
-            unsigned(sh.base)));
-    } else if (pkt.payload.size() != sh.bytes.size() ||
-               (!sh.bytes.empty() &&
-                std::memcmp(pkt.payload.data(), sh.bytes.data(),
-                            sh.bytes.size()) != 0)) {
-        violation(logging::format(
-            "combined packet payload (%zu bytes) is not byte-identical "
-            "to the uncombined shadow stream (%zu bytes)",
-            pkt.payload.size(), sh.bytes.size()));
-    }
-    sh.active = false;
-    sh.bytes.clear();
-}
+// onShadowFlush and onDuPacket — the two hooks that look inside a
+// net::Packet — are defined in net/check_packet.cc so this layer never
+// includes net/ headers.
 
 // ---- NIC -----------------------------------------------------------------
 
@@ -369,30 +346,6 @@ SimChecker::onDelivery(const void *engine, NodeId src, std::uint64_t seq,
         return;
     }
     last[src] = seq;
-}
-
-void
-SimChecker::onDuPacket(const void *packetizer, const net::Packet &pkt,
-                       const void *expected, std::size_t len)
-{
-    (void)packetizer;
-    numChecks_ += 1;
-    if (pkt.payload.size() % 4 != 0) {
-        violation(logging::format(
-            "deliberate-update packet payload is %zu bytes, not a whole "
-            "number of words (the DU engine transfers 4-byte words)",
-            pkt.payload.size()));
-        return;
-    }
-    if (pkt.payload.size() != len ||
-        (len != 0 &&
-         std::memcmp(pkt.payload.data(), expected, len) != 0)) {
-        violation(logging::format(
-            "deliberate-update packet payload (%zu bytes) is not "
-            "byte-identical to the %zu source bytes read from memory "
-            "(DU shadow check)",
-            pkt.payload.size(), len));
-    }
 }
 
 // ---- mesh/routers --------------------------------------------------------

@@ -38,7 +38,14 @@
 
 #include "base/logging.hh"
 #include "base/types.hh"
-#include "net/packet.hh"
+
+namespace shrimp::net
+{
+// The checker only passes packets through by reference; the two hooks
+// that inspect payloads are defined in net/check_packet.cc so this
+// header (layer 1) never includes net/ (layer 3).
+struct Packet;
+} // namespace shrimp::net
 
 namespace shrimp::check
 {

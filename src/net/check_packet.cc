@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The two SimChecker hooks that inspect net::Packet payloads. They
+ * live in net/ (not check/) so check/check.hh can forward-declare
+ * Packet instead of including net/packet.hh — the checker layer sits
+ * below the network layer, and this file is the one place allowed to
+ * see both sides: net/ includes downward into check/.
+ */
+
+#include <cstring>
+
+#include "check/check.hh"
+#include "net/packet.hh"
+
+namespace shrimp::check
+{
+
+void
+SimChecker::onShadowFlush(const void *packetizer, const net::Packet &pkt)
+{
+    numChecks_ += 1;
+    auto it = shadows_.find(packetizer);
+    if (it == shadows_.end() || !it->second.active)
+        return; // checking enabled mid-run; nothing recorded to compare
+    Shadow &sh = it->second;
+    if (pkt.dst != sh.dst || pkt.destAddr != sh.base) {
+        violation(logging::format(
+            "combined packet header diverged from uncombined shadow: "
+            "dst %u@0x%x vs shadow %u@0x%x",
+            unsigned(pkt.dst), unsigned(pkt.destAddr), unsigned(sh.dst),
+            unsigned(sh.base)));
+    } else if (pkt.payload.size() != sh.bytes.size() ||
+               (!sh.bytes.empty() &&
+                std::memcmp(pkt.payload.data(), sh.bytes.data(),
+                            sh.bytes.size()) != 0)) {
+        violation(logging::format(
+            "combined packet payload (%zu bytes) is not byte-identical "
+            "to the uncombined shadow stream (%zu bytes)",
+            pkt.payload.size(), sh.bytes.size()));
+    }
+    sh.active = false;
+    sh.bytes.clear();
+}
+
+void
+SimChecker::onDuPacket(const void *packetizer, const net::Packet &pkt,
+                       const void *expected, std::size_t len)
+{
+    (void)packetizer;
+    numChecks_ += 1;
+    if (pkt.payload.size() % 4 != 0) {
+        violation(logging::format(
+            "deliberate-update packet payload is %zu bytes, not a whole "
+            "number of words (the DU engine transfers 4-byte words)",
+            pkt.payload.size()));
+        return;
+    }
+    if (pkt.payload.size() != len ||
+        (len != 0 &&
+         std::memcmp(pkt.payload.data(), expected, len) != 0)) {
+        violation(logging::format(
+            "deliberate-update packet payload (%zu bytes) is not "
+            "byte-identical to the %zu source bytes read from memory "
+            "(DU shadow check)",
+            pkt.payload.size(), len));
+    }
+}
+
+} // namespace shrimp::check

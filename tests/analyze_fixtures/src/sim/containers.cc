@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Analyzer fixture for the typed dropped-task shapes: a local
+ * container of Tasks that is populated but never drained, a Task
+ * passed to a callee whose summary proves the parameter is ignored,
+ * and the drained/consumed negatives for both.
+ */
+
+#include "sim/tasks.hh"
+
+namespace shrimpfix
+{
+
+void
+stockpiles()
+{
+    std::vector<Task<>> backlog; // seeded: filled below, never drained
+    backlog.reserve(4);
+    backlog.push_back(tick());
+    backlog.push_back(pump());
+}
+
+Task<>
+drains()
+{
+    std::vector<Task<>> batch; // negative: range-for awaits everything
+    batch.push_back(tick());
+    for (auto &t : batch)
+        co_await t;
+}
+
+Task<>
+joinAll(std::vector<Task<>> &ts)
+{
+    for (auto &t : ts)
+        co_await t;
+    co_return;
+}
+
+void
+shelve(std::vector<Task<>> &ts)
+{
+    // Never touches ts: the summary proves the parameter is dropped.
+    int parked = 0;
+    (void)parked;
+}
+
+void
+handsOff()
+{
+    std::vector<Task<>> work; // seeded: only ever passed to shelve()
+    work.push_back(tick());
+    shelve(work);
+}
+
+Task<>
+handsOver()
+{
+    std::vector<Task<>> work; // negative: joinAll() drains it
+    work.push_back(tick());
+    co_await joinAll(work);
+}
+
+void
+shelveOne(Task<> t)
+{
+    // Never touches t either.
+    int parked = 0;
+    (void)parked;
+}
+
+void
+dropsViaCall()
+{
+    shelveOne(tick()); // seeded: the callee ignores its Task parameter
+}
+
+void
+consumesViaCall()
+{
+    consume(sample()); // negative: consume() has no body in the index,
+                       // so it is assumed to run the Task
+}
+
+} // namespace shrimpfix

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Analyzer fixture for the deadlock rule: a two-lock order cycle
+ * (forward/backward acquire in opposite orders), a non-reentrant
+ * re-acquire, an interprocedural suspend-while-holding through a
+ * lock()-style helper, and consistent-order / released-first
+ * negatives.
+ */
+
+#include "sim/tasks.hh"
+
+namespace shrimpfix
+{
+
+struct Pair
+{
+    Semaphore a_;
+    Semaphore b_;
+    Task<> forward();
+    Task<> backward();
+    Task<> oops();
+};
+
+Task<>
+Pair::forward()
+{
+    co_await a_.acquire();
+    co_await b_.acquire(); // seeded (with backward): a_->b_ vs b_->a_
+    b_.release();
+    a_.release();
+}
+
+Task<>
+Pair::backward()
+{
+    co_await b_.acquire();
+    co_await a_.acquire(); // seeded: the other half of the cycle
+    a_.release();
+    b_.release();
+}
+
+Task<>
+Pair::oops()
+{
+    co_await a_.acquire();
+    co_await a_.acquire(); // seeded: non-reentrant re-acquire
+    a_.release();
+}
+
+struct Ordered
+{
+    Semaphore a_;
+    Semaphore b_;
+    Task<> one();
+    Task<> two();
+};
+
+Task<>
+Ordered::one()
+{
+    co_await a_.acquire(); // negative: both paths take a_ then b_
+    co_await b_.acquire();
+    b_.release();
+    a_.release();
+}
+
+Task<>
+Ordered::two()
+{
+    co_await a_.acquire();
+    co_await b_.acquire();
+    b_.release();
+    a_.release();
+}
+
+struct Guarded
+{
+    Semaphore m_;
+    Task<> lockIt();
+    Task<> waits();
+    Task<> balanced();
+};
+
+Task<>
+Guarded::lockIt()
+{
+    co_await m_.acquire(); // helper: leaves m_ held on return
+}
+
+Task<>
+Guarded::waits()
+{
+    co_await lockIt();
+    co_await tick(); // seeded: m_ still held by the lockIt() callee
+    m_.release();
+}
+
+Task<>
+Guarded::balanced()
+{
+    co_await lockIt();
+    m_.release();
+    co_await tick(); // negative: released before suspending
+}
+
+} // namespace shrimpfix

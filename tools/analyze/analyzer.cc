@@ -3,51 +3,139 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 
+#include "cache.hh"
+#include "dataflow.hh"
 #include "lexer.hh"
 #include "parse.hh"
 #include "rules.hh"
+#include "types.hh"
 
 namespace shrimp::analyze
 {
 
 namespace fs = std::filesystem;
 
+namespace
+{
+
+bool
+isSourceExt(const std::string &ext)
+{
+    return ext == ".hh" || ext == ".cc" || ext == ".hpp" ||
+           ext == ".cpp";
+}
+
+/** Canonicalize include directives against the loaded file set so the
+ *  cycle check and layer rule see one name per file: exact match
+ *  first, then relative to the includer's directory, then prefixed
+ *  with each secondary root label. Unresolvable includes (system
+ *  headers, generated files) are left as written. */
+void
+canonicalizeIncludes(Project &p, const std::vector<std::string> &labels)
+{
+    std::set<std::string> known;
+    for (const SourceFile &f : p.files)
+        known.insert(f.rel);
+
+    for (SourceFile &f : p.files) {
+        const std::size_t slash = f.rel.rfind('/');
+        const std::string sibling =
+            slash == std::string::npos ? "" : f.rel.substr(0, slash + 1);
+        for (auto &[line, inc] : f.includes) {
+            if (known.count(inc) != 0)
+                continue;
+            if (!sibling.empty() && known.count(sibling + inc) != 0) {
+                inc = sibling + inc;
+                continue;
+            }
+            for (const std::string &label : labels) {
+                if (known.count(label + "/" + inc) != 0) {
+                    inc = label + "/" + inc;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+Project
+loadProject(const std::vector<std::string> &roots,
+            const std::string &cacheDir)
+{
+    Project p;
+    if (!cacheDir.empty())
+        fs::create_directories(cacheDir);
+
+    std::vector<std::string> labels; // secondary-root path prefixes
+    for (std::size_t r = 0; r < roots.size(); ++r) {
+        const std::string &root = roots[r];
+        const std::string label =
+            r == 0 ? ""
+                   : fs::path(root).filename().generic_string();
+        if (r != 0)
+            labels.push_back(label);
+
+        std::vector<std::string> rels;
+        for (const auto &ent : fs::recursive_directory_iterator(root)) {
+            if (!ent.is_regular_file())
+                continue;
+            if (!isSourceExt(ent.path().extension().string()))
+                continue;
+            rels.push_back(
+                fs::relative(ent.path(), root).generic_string());
+        }
+        std::sort(rels.begin(), rels.end()); // host dir order varies
+
+        for (const std::string &rel : rels) {
+            std::ifstream in(fs::path(root) / rel);
+            std::stringstream ss;
+            ss << in.rdbuf();
+            const std::string text = ss.str();
+
+            SourceFile f;
+            f.rel = label.empty() ? rel : label + "/" + rel;
+            const std::size_t slash = f.rel.find('/');
+            f.dir = slash == std::string::npos ? ""
+                                               : f.rel.substr(0, slash);
+            f.isHeader = rel.size() > 3 &&
+                         (rel.compare(rel.size() - 3, 3, ".hh") == 0 ||
+                          rel.compare(rel.size() - 4, 4, ".hpp") == 0);
+
+            const std::string hash = contentHash(text);
+            std::string cachePath;
+            if (!cacheDir.empty())
+                cachePath = (fs::path(cacheDir) /
+                             cacheEntryName(f.rel))
+                                .generic_string();
+
+            if (cachePath.empty() ||
+                !loadCachedFile(cachePath, hash, f)) {
+                lexFile(text, f);
+                parseFile(f);
+                extractTypes(f);
+                if (!cachePath.empty())
+                    storeCachedFile(cachePath, hash, f);
+            }
+            p.files.push_back(std::move(f));
+        }
+    }
+
+    canonicalizeIncludes(p, labels);
+    buildTaskIndex(p);
+    buildTypeIndex(p);
+    buildSummaries(p);
+    return p;
+}
+
 Project
 loadProject(const std::string &includeRoot)
 {
-    Project p;
-    std::vector<std::string> rels;
-    for (const auto &ent : fs::recursive_directory_iterator(includeRoot)) {
-        if (!ent.is_regular_file())
-            continue;
-        const std::string ext = ent.path().extension().string();
-        if (ext != ".hh" && ext != ".cc" && ext != ".hpp" && ext != ".cpp")
-            continue;
-        rels.push_back(
-            fs::relative(ent.path(), includeRoot).generic_string());
-    }
-    std::sort(rels.begin(), rels.end()); // host directory order varies
-
-    for (const std::string &rel : rels) {
-        std::ifstream in(fs::path(includeRoot) / rel);
-        std::stringstream ss;
-        ss << in.rdbuf();
-
-        SourceFile f;
-        f.rel = rel;
-        const std::size_t slash = rel.find('/');
-        f.dir = slash == std::string::npos ? "" : rel.substr(0, slash);
-        f.isHeader = rel.size() > 3 &&
-                     (rel.compare(rel.size() - 3, 3, ".hh") == 0 ||
-                      rel.compare(rel.size() - 4, 4, ".hpp") == 0);
-        lexFile(ss.str(), f);
-        parseFile(f);
-        p.files.push_back(std::move(f));
-    }
-    buildTaskIndex(p);
-    return p;
+    return loadProject(std::vector<std::string>{includeRoot}, "");
 }
 
 std::vector<Finding>
@@ -59,6 +147,8 @@ runRules(const Project &p)
     ruleDeterminism(p, out);
     ruleLayering(p, out);
     ruleChargedTime(p, out);
+    ruleDeadlock(p, out);
+    ruleTaint(p, out);
     std::sort(out.begin(), out.end(),
               [](const Finding &a, const Finding &b) {
                   if (a.file != b.file)
@@ -76,6 +166,14 @@ std::vector<Finding>
 analyzeTree(const std::string &includeRoot)
 {
     const Project p = loadProject(includeRoot);
+    return runRules(p);
+}
+
+std::vector<Finding>
+analyzeTrees(const std::vector<std::string> &roots,
+             const std::string &cacheDir)
+{
+    const Project p = loadProject(roots, cacheDir);
     return runRules(p);
 }
 

@@ -1,9 +1,19 @@
 /**
  * @file
- * Top-level driver for shrimp_analyze: walk an include root, lex and
- * parse every .hh/.cc under it, build the cross-file index, run all
- * five rules and return deterministically ordered findings. Linked by
- * both the CLI (main.cc) and tests/test_analyze.cc.
+ * Top-level driver for shrimp_analyze: walk one or more scan roots,
+ * lex/parse/type-extract every .hh/.cc under them (per-file facts come
+ * from the cache when the content hash matches), build the cross-file
+ * indexes (Task index, typed symbol index, interprocedural summaries)
+ * and run all rules, returning deterministically ordered findings.
+ * Linked by both the CLI (main.cc) and tests/test_analyze.cc.
+ *
+ * Path scheme: files under the first root keep root-relative paths
+ * ("sim/bus.cc" — also the include-resolution scheme, mirroring the
+ * build's -I src). Files under additional roots are prefixed with the
+ * root's basename ("tools/report/main.cc"), whose first component is
+ * exempt from the layer order. Include directives are canonicalized
+ * against the loaded file set (exact, then includer-sibling, then each
+ * secondary root) so the cycle check sees one name per file.
  */
 
 #ifndef SHRIMP_TOOLS_ANALYZE_ANALYZER_HH
@@ -17,9 +27,14 @@
 namespace shrimp::analyze
 {
 
-/** Lex + parse + index every C++ file under @p includeRoot. File
- *  paths in the result are relative to @p includeRoot (which is also
- *  the path includes resolve against, mirroring the build's -I). */
+/** Lex + parse + index every C++ file under @p roots (first root
+ *  unprefixed, later roots label-prefixed). @p cacheDir, when
+ *  non-empty, holds per-file facts keyed by content hash; it is
+ *  created if missing. */
+Project loadProject(const std::vector<std::string> &roots,
+                    const std::string &cacheDir = "");
+
+/** Single-root convenience overload. */
 Project loadProject(const std::string &includeRoot);
 
 /** Run all rules; findings sorted by (file, line, rule, fingerprint). */
@@ -27,6 +42,10 @@ std::vector<Finding> runRules(const Project &p);
 
 /** loadProject + runRules. */
 std::vector<Finding> analyzeTree(const std::string &includeRoot);
+
+/** Multi-root + cache variant of analyzeTree. */
+std::vector<Finding> analyzeTrees(const std::vector<std::string> &roots,
+                                  const std::string &cacheDir = "");
 
 /** `file:line: [rule] message` */
 std::string formatFinding(const Finding &f);

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Incremental per-file facts cache for shrimp_analyze. Everything the
+ * per-file pipeline produces (tokens, annotations, includes, parsed
+ * functions/members/classes/fields/aliases, extracted locals) is
+ * written to one cache file per source, keyed by an FNV-1a hash of the
+ * source bytes plus a format version. On a warm run an unchanged file
+ * skips lexing, parsing and type extraction entirely; the cross-file
+ * stages (task index, type index, summaries, rules) always recompute,
+ * so cold and warm runs produce byte-identical findings by
+ * construction — only per-file work is memoized.
+ *
+ * The format is line-oriented text: single-token fields first,
+ * free-text (type strings contain spaces) last on each line. A version
+ * or hash mismatch, short file, or any malformed record is a miss —
+ * the analyzer silently re-derives and rewrites.
+ */
+
+#ifndef SHRIMP_TOOLS_ANALYZE_CACHE_HH
+#define SHRIMP_TOOLS_ANALYZE_CACHE_HH
+
+#include <string>
+
+#include "model.hh"
+
+namespace shrimp::analyze
+{
+
+/** 64-bit FNV-1a of @p text, as fixed-width hex. */
+std::string contentHash(const std::string &text);
+
+/** Cache file name for a (root-labeled) relative source path:
+ *  slashes become "__", ".facts" appended. */
+std::string cacheEntryName(const std::string &rel);
+
+/** Load cached facts for @p f from @p path if the stored hash matches
+ *  @p hash. On success fills toks/annotations/includes/fns/members/
+ *  classes/fields/aliases and returns true; any mismatch or parse
+ *  problem returns false with @p f untouched. @p f.rel/dir/isHeader
+ *  must already be set (they derive from the path, not the content). */
+bool loadCachedFile(const std::string &path, const std::string &hash,
+                    SourceFile &f);
+
+/** Write @p f's facts to @p path, keyed by @p hash. Best-effort: I/O
+ *  failure is ignored (the cache is an optimization, not state). */
+void storeCachedFile(const std::string &path, const std::string &hash,
+                     const SourceFile &f);
+
+} // namespace shrimp::analyze
+
+#endif // SHRIMP_TOOLS_ANALYZE_CACHE_HH

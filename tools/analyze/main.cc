@@ -2,17 +2,27 @@
  * @file
  * shrimp_analyze CLI.
  *
- *   shrimp_analyze [options] [include-root]
+ *   shrimp_analyze [options] [scan-root...]
  *
- *     include-root         directory to scan (default: src); it is
- *                          also the include-resolution root, like -I
+ *     scan-root...         directories to scan (default: src). The
+ *                          first root is the include-resolution root
+ *                          (like -I) and its files keep root-relative
+ *                          paths; later roots (tools, bench) are
+ *                          prefixed with their basename and exempt
+ *                          from the layer order.
  *     --baseline=FILE      accepted-findings file
  *                          (default: tools/analyze/baseline.txt next
- *                          to the include root's parent, if present)
+ *                          to the first root's parent, if present)
  *     --update-baseline    rewrite the baseline to the current
  *                          findings and exit 0
  *     --report=FILE        also write the findings report to FILE
  *                          (uploaded as a CI artifact)
+ *     --sarif=FILE         write all findings (baselined included —
+ *                          scanning backends do their own tracking via
+ *                          partialFingerprints) as SARIF 2.1.0
+ *     --cache=DIR          per-file facts cache keyed by content hash;
+ *                          created if missing. Cold and warm runs
+ *                          produce identical findings.
  *
  * Exit status: 0 clean (all findings baselined), 1 fresh findings,
  * 2 usage or I/O error.
@@ -21,12 +31,14 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analyzer.hh"
 #include "baseline.hh"
+#include "sarif.hh"
 
 namespace
 {
@@ -36,9 +48,11 @@ using namespace shrimp::analyze;
 int
 run(int argc, char **argv)
 {
-    std::string root = "src";
+    std::vector<std::string> roots;
     std::string baselinePath;
     std::string reportPath;
+    std::string sarifPath;
+    std::string cacheDir;
     bool updateBaseline = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -49,25 +63,54 @@ run(int argc, char **argv)
             updateBaseline = true;
         else if (arg.rfind("--report=", 0) == 0)
             reportPath = arg.substr(9);
+        else if (arg.rfind("--sarif=", 0) == 0)
+            sarifPath = arg.substr(8);
+        else if (arg.rfind("--cache=", 0) == 0)
+            cacheDir = arg.substr(8);
         else if (arg.rfind("--", 0) == 0) {
             std::cerr << "shrimp_analyze: unknown option " << arg << "\n";
             return 2;
         } else
-            root = arg;
+            roots.push_back(arg);
     }
+    if (roots.empty())
+        roots.push_back("src");
 
-    if (!std::filesystem::is_directory(root)) {
-        std::cerr << "shrimp_analyze: no such directory: " << root << "\n";
-        return 2;
+    for (const std::string &root : roots) {
+        if (!std::filesystem::is_directory(root)) {
+            std::cerr << "shrimp_analyze: no such directory: " << root
+                      << "\n";
+            return 2;
+        }
     }
     if (baselinePath.empty()) {
-        const auto guess = std::filesystem::path(root).parent_path() /
-                           "tools" / "analyze" / "baseline.txt";
+        const auto guess =
+            std::filesystem::path(roots.front()).parent_path() /
+            "tools" / "analyze" / "baseline.txt";
         if (std::filesystem::exists(guess))
             baselinePath = guess.string();
     }
 
-    const std::vector<Finding> findings = analyzeTree(root);
+    const std::vector<Finding> findings = analyzeTrees(roots, cacheDir);
+
+    if (!sarifPath.empty()) {
+        std::set<std::string> labeled;
+        for (std::size_t r = 1; r < roots.size(); ++r)
+            labeled.insert(std::filesystem::path(roots[r])
+                               .filename()
+                               .generic_string());
+        const std::string srcLabel =
+            std::filesystem::path(roots.front())
+                .filename()
+                .generic_string();
+        std::ofstream out(sarifPath);
+        if (!out) {
+            std::cerr << "shrimp_analyze: cannot write " << sarifPath
+                      << "\n";
+            return 2;
+        }
+        out << sarifReport(findings, srcLabel, labeled);
+    }
 
     if (updateBaseline) {
         if (baselinePath.empty()) {

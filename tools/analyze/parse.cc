@@ -23,6 +23,19 @@ isKeywordNotAName(const std::string &s)
     return kw.count(s) != 0;
 }
 
+/** Declaration-specifier keywords that precede but are not part of a
+ *  return type. */
+bool
+isDeclSpecifier(const std::string &s)
+{
+    static const std::set<std::string> spec = {
+        "virtual", "static", "inline", "explicit", "constexpr",
+        "consteval", "friend", "extern", "mutable", "typename",
+        "register", "thread_local",
+    };
+    return spec.count(s) != 0;
+}
+
 struct Parser
 {
     SourceFile &f;
@@ -76,9 +89,53 @@ struct Parser
         return false;
     }
 
-    /** Qualified name A::B::name built by walking `::` chains left. */
+    /** First token index of the declaration prefix for the name at
+     *  @p chainBegin (start of its `A::B::` qualifier chain): one past
+     *  the previous statement boundary. */
+    std::size_t
+    prefixBegin(std::size_t chainBegin) const
+    {
+        const std::size_t lo = chainBegin > 48 ? chainBegin - 48 : 0;
+        for (std::size_t k = chainBegin; k-- > lo;) {
+            const Token &t = at(k);
+            if (t.is(";") || t.is("{") || t.is("}") || t.is(":") ||
+                t.is("public") || t.is("private") || t.is("protected"))
+                return k + 1;
+        }
+        return lo;
+    }
+
+    /** Normalized return-type text for the declaration whose name
+     *  qualifier chain starts at @p chainBegin. Empty when nothing
+     *  usable precedes the name (constructors, conversion ops). */
     std::string
-    qualNameAt(std::size_t nameIdx) const
+    prefixRetType(std::size_t chainBegin) const
+    {
+        std::size_t k = prefixBegin(chainBegin);
+        // Drop specifiers, attributes and template headers up front.
+        while (k < chainBegin) {
+            const Token &t = at(k);
+            if (t.ident() && isDeclSpecifier(t.text)) {
+                ++k;
+                continue;
+            }
+            if (t.is("[") && at(k + 1).is("[")) { // [[nodiscard]] etc.
+                k = skipBalanced(toks, k);
+                continue;
+            }
+            if (t.is("template") && at(k + 1).is("<")) {
+                k = skipAngles(k + 1);
+                continue;
+            }
+            break;
+        }
+        return typeText(toks, k, chainBegin);
+    }
+
+    /** Qualified name A::B::name built by walking `::` chains left;
+     *  @p chainBegin receives the index of the first chain token. */
+    std::string
+    qualNameAt(std::size_t nameIdx, std::size_t &chainBegin) const
     {
         std::string q = at(nameIdx).text;
         std::size_t k = nameIdx;
@@ -86,7 +143,59 @@ struct Parser
             q = at(k - 2).text + "::" + q;
             k -= 2;
         }
+        chainBegin = k;
         return q;
+    }
+
+    /** Parse the parameter list opening at the `(` at @p open. */
+    std::vector<Param>
+    parseParams(std::size_t open) const
+    {
+        std::vector<Param> out;
+        const std::size_t close = skipBalanced(toks, open) - 1;
+        std::size_t start = open + 1;
+        std::size_t k = start;
+        auto flush = [&](std::size_t end) {
+            // Strip a default argument.
+            std::size_t e = end;
+            for (std::size_t q = start; q < end; ++q) {
+                if (at(q).is("=")) {
+                    e = q;
+                    break;
+                }
+            }
+            if (e <= start)
+                return;
+            Param pa;
+            const Token &last = at(e - 1);
+            if (e - start >= 2 && last.ident() &&
+                !isKeywordNotAName(last.text) && !at(e - 2).is("::")) {
+                pa.name = last.text;
+                pa.type = typeText(toks, start, e - 1);
+            } else {
+                pa.type = typeText(toks, start, e);
+            }
+            if (pa.type != "void")
+                out.push_back(pa);
+        };
+        while (k < close) {
+            const Token &t = at(k);
+            if (t.is("(") || t.is("[") || t.is("{")) {
+                k = skipBalanced(toks, k);
+                continue;
+            }
+            if (t.is("<") && k > start && at(k - 1).ident()) {
+                k = skipAngles(k);
+                continue;
+            }
+            if (t.is(",")) {
+                flush(k);
+                start = k + 1;
+            }
+            ++k;
+        }
+        flush(close);
+        return out;
     }
 
     /** Walk a constructor initializer list starting at the `:` at @p i;
@@ -138,20 +247,37 @@ struct Parser
             return i + 1;
 
         const bool returnsTask = prefixReturnsTask(i);
+        std::size_t chainBegin = i;
+        const std::string qualName = qualNameAt(i, chainBegin);
+        const std::string retType = prefixRetType(chainBegin);
+        // Out-of-line `Engine::deliver` qualifies the class; in-class
+        // definitions inherit the enclosing class name.
+        std::string className = cls;
+        const std::size_t colons = qualName.rfind("::");
+        if (colons != std::string::npos) {
+            const std::size_t prev = qualName.rfind("::", colons - 1);
+            className = qualName.substr(
+                prev == std::string::npos ? 0 : prev + 2,
+                colons - (prev == std::string::npos ? 0 : prev + 2));
+        }
         std::size_t k = close; // one past `)`
 
         auto declare = [&]() {
-            f.members.push_back(
-                {cls, name, at(i).line, returnsTask, isPublic});
+            f.members.push_back({cls.empty() ? className : cls, name,
+                                 at(i).line, returnsTask, isPublic,
+                                 retType, parseParams(i + 1)});
         };
         auto define = [&](std::size_t bodyBrace) {
             FnDef d;
             d.name = name;
-            d.qualName = qualNameAt(i);
+            d.qualName = qualName;
+            d.className = className;
             d.line = at(i).line;
             d.bodyBegin = bodyBrace;
             d.bodyEnd = skipBalanced(toks, bodyBrace);
             d.returnsTask = returnsTask;
+            d.retType = retType;
+            d.params = parseParams(i + 1);
             f.fns.push_back(d);
             declare();
             return d.bodyEnd;
@@ -186,9 +312,42 @@ struct Parser
                     k = skipBalanced(toks, k);
                 continue;
             }
+            if (t.is("->")) { // trailing return type
+                std::size_t e = k + 1;
+                while (e < size() && !at(e).is("{") && !at(e).is(";") &&
+                       !at(e).is("}")) {
+                    if (at(e).is("<")) {
+                        e = skipAngles(e);
+                        continue;
+                    }
+                    ++e;
+                }
+                k = e;
+                continue;
+            }
             return i + 1; // not a function shape
         }
         return i + 1;
+    }
+
+    /** `using NAME = TYPE;` at the current position (the `using`). */
+    std::size_t
+    alias(std::size_t i)
+    {
+        if (!at(i + 1).ident() || !at(i + 2).is("="))
+            return i + 1; // using-directive / using-declaration
+        std::size_t e = i + 3;
+        while (e < size() && !at(e).is(";")) {
+            if (at(e).is("<")) {
+                e = skipAngles(e);
+                continue;
+            }
+            if (at(e).is("{") || at(e).is("}"))
+                return e; // malformed; bail without consuming
+            ++e;
+        }
+        f.aliases.emplace_back(at(i + 1).text, typeText(toks, i + 3, e));
+        return e + 1;
     }
 
     /** Scan tokens from @p i to the `}` closing this region (or the
@@ -213,6 +372,22 @@ struct Parser
                 at(i + 1).is(":")) {
                 isPublic = t.is("public");
                 i += 2;
+                continue;
+            }
+
+            if (t.is("using") || t.is("typedef")) {
+                if (t.is("using")) {
+                    i = alias(i);
+                    continue;
+                }
+                // typedef TYPE NAME; — name is the last ident before ;
+                std::size_t e = i + 1;
+                while (e < size() && !at(e).is(";") && !at(e).is("{"))
+                    ++e;
+                if (at(e).is(";") && e >= i + 3 && at(e - 1).ident())
+                    f.aliases.emplace_back(at(e - 1).text,
+                                           typeText(toks, i + 1, e - 1));
+                i = e + 1;
                 continue;
             }
 
@@ -268,8 +443,14 @@ struct Parser
                     ++k;
                 }
                 if (body) {
-                    i = region(k + 1, name.empty() ? "?" : name,
+                    ClassDef cd;
+                    cd.name = name.empty() ? "?" : name;
+                    cd.line = t.line;
+                    cd.bodyBegin = k;
+                    i = region(k + 1, cd.name,
                                t.is("class") ? false : true);
+                    cd.bodyEnd = i;
+                    f.classes.push_back(cd);
                     continue;
                 }
                 i = k + 1;
@@ -312,6 +493,26 @@ skipBalanced(const Tokens &toks, std::size_t i)
             return k + 1;
     }
     return toks.size();
+}
+
+std::string
+typeText(const Tokens &toks, std::size_t lo, std::size_t hi)
+{
+    std::string out;
+    for (std::size_t k = lo; k < hi && k < toks.size(); ++k) {
+        const Token &t = toks[k];
+        if (t.kind == Tok::End)
+            break;
+        if ((t.ident() || t.kind == Tok::Number) && !out.empty()) {
+            const char back = out.back();
+            if (std::string("abcdefghijklmnopqrstuvwxyz"
+                            "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                            "0123456789_").find(back) != std::string::npos)
+                out += ' ';
+        }
+        out += t.text;
+    }
+    return out;
 }
 
 void

@@ -38,6 +38,11 @@ void buildTaskIndex(Project &p);
  *  `[`). Returns the end of @p toks if unbalanced. */
 std::size_t skipBalanced(const Tokens &toks, std::size_t i);
 
+/** Normalized type text for tokens [lo, hi): identifiers separated by
+ *  single spaces, punctuation (`::`, `<`, `>`, `,`, `*`, `&`) packed
+ *  tight — "std::vector<sim::Task<>>&". */
+std::string typeText(const Tokens &toks, std::size_t lo, std::size_t hi);
+
 } // namespace shrimp::analyze
 
 #endif // SHRIMP_TOOLS_ANALYZE_PARSE_HH

@@ -5,14 +5,24 @@
  * that silently does not happen. `[[nodiscard]]` (enforced by the
  * lint) catches the bare-call form at compile time only when warnings
  * are errors, and can never catch `auto t = f();` followed by nothing;
- * this pass catches both.
+ * this pass catches both, plus the shapes that need type information:
+ *
+ *   - a call nested in another call's arguments is consumed ONLY when
+ *     the receiving parameter actually consumes it — the enclosing
+ *     function's interprocedural summary (dataflow.hh) is consulted,
+ *     and a call the index cannot resolve is assumed to consume
+ *     (conservative: `vec.push_back(f())`, `spawn(f())` stay silent),
+ *   - a local `std::vector<sim::Task<>>` (or any indexed container/
+ *     wrapper of Task, through aliases) that is populated but never
+ *     drained — every mention is a push_back/emplace/reserve-style
+ *     populate — holds coroutines that never run, even though each
+ *     push "used" the Task.
  *
  * Per statement containing a call to an indexed Task-returning name:
  *
  *   - the statement co_awaits / returns / co_returns     -> consumed
- *   - the call is nested inside another call's parens
- *     (spawn(f()), vec.push_back(f()), if (ok(f()))...)  -> consumed
- *     (ownership escapes; tracking it further needs an AST)
+ *   - nested in a consuming (or unresolved) call         -> consumed
+ *   - nested in a provably non-consuming call            -> FINDING
  *   - assigned to a member or dereferenced target        -> consumed
  *   - assigned to a local that appears again later
  *     in the body                                        -> consumed
@@ -22,8 +32,10 @@
 
 #include <cstddef>
 
+#include "callgraph.hh"
 #include "parse.hh"
 #include "rules.hh"
+#include "types.hh"
 
 namespace shrimp::analyze
 {
@@ -54,10 +66,68 @@ mayPrecedeCall(const Token &t)
            t.is("case") || t.is("throw");
 }
 
+/** Container methods that only put Tasks in (or size the storage) —
+ *  they never run or hand off what is stored. */
+bool
+isPopulateMethod(const std::string &m)
+{
+    static const std::set<std::string> ms = {
+        "push_back", "emplace_back", "emplace", "push", "insert",
+        "reserve", "resize", "size", "empty", "capacity",
+    };
+    return ms.count(m) != 0;
+}
+
+/** The innermost call whose argument range contains token @p k, or
+ *  null when @p k is not inside any call's parens. */
+const CallSite *
+enclosingCall(const std::vector<CallSite> &calls, std::size_t k)
+{
+    const CallSite *best = nullptr;
+    for (const CallSite &cs : calls)
+        if (cs.argsBegin <= k && k < cs.argsEnd &&
+            (!best || cs.argsBegin > best->argsBegin))
+            best = &cs;
+    return best;
+}
+
+/** Argument index of token @p k inside @p cs (top-level commas). */
+int
+argIndexOf(const Tokens &toks, const CallSite &cs, std::size_t k)
+{
+    const auto args = splitArgs(toks, cs.argsBegin, cs.argsEnd);
+    for (std::size_t a = 0; a < args.size(); ++a)
+        if (args[a].first <= k && k < args[a].second)
+            return int(a);
+    return -1;
+}
+
+/** Does passing a value as argument @p k-at-token of call @p cs
+ *  consume it? Unresolvable callees consume (conservative); a defined
+ *  callee with a Task-typed, provably untouched parameter does not. */
+bool
+callConsumesArg(const Project &p, const Tokens &toks, const CallSite &cs,
+                std::size_t k)
+{
+    if (cs.key.empty())
+        return true;
+    auto it = p.summaries.find(cs.key);
+    if (it == p.summaries.end() || !it->second.defined)
+        return true;
+    const int arg = argIndexOf(toks, cs, k);
+    if (arg < 0)
+        return true;
+    const FnSummary &s = it->second;
+    if (s.taskParams.count(arg) == 0)
+        return true; // parameter type unknown to the index
+    return s.consumesTaskParam.count(arg) != 0;
+}
+
 void
 scanStatement(const SourceFile &f, const FnDef &fn, std::size_t s,
               std::size_t e, const Project &p,
               const std::set<std::string> &shadowed,
+              const std::vector<CallSite> &calls,
               std::vector<Finding> &out)
 {
     const Tokens &toks = f.toks;
@@ -86,8 +156,6 @@ scanStatement(const SourceFile &f, const FnDef &fn, std::size_t s,
             assignAt = k;
         else if (t.ident() && k + 1 < e && toks[k + 1].is("(") &&
                  p.taskFns.count(t.text) != 0) {
-            if (depth > 0)
-                continue; // wrapped in another call: ownership escapes
             if (shadowed.count(t.text) != 0)
                 continue; // rebound locally (a lambda), not the Task fn
             if (k > s && !mayPrecedeCall(toks[k - 1]))
@@ -96,6 +164,21 @@ scanStatement(const SourceFile &f, const FnDef &fn, std::size_t s,
                 continue; // `Foo<T> name(args)`: also a declaration
             if (f.allows(t.line, "dropped-task"))
                 continue;
+            if (depth > 0) {
+                // Wrapped in another call: consumed only if the
+                // receiving parameter consumes it.
+                const CallSite *host = enclosingCall(calls, k);
+                if (!host || callConsumesArg(p, toks, *host, k))
+                    continue;
+                out.push_back(
+                    {"dropped-task", f.rel, t.line,
+                     fn.qualName + "/" + t.text + "/passed",
+                     "Task returned by '" + t.text + "()' is passed to '" +
+                         host->callee + "()', which never awaits, "
+                         "spawns, stores or drains that parameter — "
+                         "the coroutine never runs"});
+                continue;
+            }
             if (assignAt != std::string::npos && assignAt < k) {
                 // `lhs = f(...)`: find the stored name and look for any
                 // later mention in the body.
@@ -126,6 +209,91 @@ scanStatement(const SourceFile &f, const FnDef &fn, std::size_t s,
     }
 }
 
+/** Container tracking: a local container-of-Task whose every mention
+ *  is a populate-style member call never runs what it holds. */
+void
+scanContainers(const Project &p, const SourceFile &f, const FnDef &fn,
+               const std::vector<CallSite> &calls,
+               std::vector<Finding> &out)
+{
+    const Tokens &toks = f.toks;
+    for (const Local &l : fn.locals) {
+        if (l.name.empty() ||
+            !typeIsTaskContainer(p.types, l.type))
+            continue;
+        if (f.allows(l.line, "dropped-task"))
+            continue;
+
+        bool populated = false;
+        bool consumed = false;
+        for (std::size_t k = fn.bodyBegin + 1;
+             k < fn.bodyEnd && !consumed; ++k) {
+            if (!toks[k].ident() || toks[k].text != l.name)
+                continue;
+            const Token &prev = toks[k - 1];
+            if (prev.is(".") || prev.is("->") || prev.is("::"))
+                continue; // someone else's member, same name
+            // Declaration mention: `std::vector<Task<>> name` — the
+            // token before is part of the type.
+            if (prev.ident() || prev.is(">") || prev.is("&") ||
+                prev.is("*"))
+                continue;
+
+            // Member call on the container.
+            if (k + 2 < fn.bodyEnd &&
+                (toks[k + 1].is(".") || toks[k + 1].is("->")) &&
+                toks[k + 2].ident()) {
+                if (isPopulateMethod(toks[k + 2].text))
+                    populated = true;
+                else
+                    consumed = true;
+                continue;
+            }
+            // Range-for drains it.
+            if (prev.is(":")) {
+                consumed = true;
+                continue;
+            }
+            // Awaited / returned / moved-from in the same statement.
+            {
+                bool stmtConsumes = false;
+                for (std::size_t q = k; q > fn.bodyBegin; --q) {
+                    const Token &b = toks[q - 1];
+                    if (b.is(";") || b.is("{") || b.is("}"))
+                        break;
+                    if (b.is("co_await") || b.is("return") ||
+                        b.is("co_return") || b.is("co_yield") ||
+                        b.is("=")) {
+                        stmtConsumes = true;
+                        break;
+                    }
+                }
+                if (stmtConsumes) {
+                    consumed = true;
+                    continue;
+                }
+            }
+            // Passed into a call: consult the callee's summary.
+            if (const CallSite *host = enclosingCall(calls, k)) {
+                if (callConsumesArg(p, toks, *host, k))
+                    consumed = true;
+                continue; // non-consuming pass: keep scanning
+            }
+            consumed = true; // any other mention: assume it escapes
+        }
+
+        if (populated && !consumed)
+            out.push_back(
+                {"dropped-task", f.rel, l.line,
+                 fn.qualName + "/container/" + l.name,
+                 "container '" + l.name + "' (" + l.type +
+                     ") is filled with Tasks but never drained — "
+                     "nothing in " + fn.qualName +
+                     " awaits, joins or iterates it, so the stored "
+                     "coroutines never run"});
+    }
+}
+
 } // namespace
 
 void
@@ -143,6 +311,8 @@ ruleDroppedTask(const Project &p, std::vector<Finding> &out)
                     shadowed.insert(f.toks[k + 1].text);
             }
 
+            const std::vector<CallSite> calls = callSites(p, f, fn);
+
             std::size_t stmt = fn.bodyBegin + 1;
             int paren = 0;
             for (std::size_t k = stmt; k < fn.bodyEnd; ++k) {
@@ -154,11 +324,14 @@ ruleDroppedTask(const Project &p, std::vector<Finding> &out)
                 else if ((t.is(";") && paren == 0) || t.is("{") ||
                          t.is("}")) {
                     if (k > stmt)
-                        scanStatement(f, fn, stmt, k, p, shadowed, out);
+                        scanStatement(f, fn, stmt, k, p, shadowed,
+                                      calls, out);
                     stmt = k + 1;
                     paren = 0;
                 }
             }
+
+            scanContainers(p, f, fn, calls, out);
         }
     }
 }

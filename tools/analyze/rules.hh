@@ -1,8 +1,8 @@
 /**
  * @file
- * The five shrimp_analyze rules. Each pass receives the fully parsed
- * Project and appends Findings; suppression (annotations aside) is the
- * baseline's job, not the rules'.
+ * The seven shrimp_analyze rules. Each pass receives the fully parsed
+ * and summarized Project and appends Findings; suppression
+ * (annotations aside) is the baseline's job, not the rules'.
  *
  * Rule names (used in reports, baselines and `analyze: allow(...)`
  * annotations):
@@ -23,12 +23,22 @@
  *                            feeding simulated state or traces.
  *   layering                 include-graph cycles anywhere, and
  *                            includes that climb the layer order
- *                            base < check/sim < mem/node < nic/net
+ *                            base < check/sim < mem < net/nic < node
  *                            < vmmc < libraries.
  *   charged-time             a public Task-returning entry point in
  *                            nic/ or mem/ that never charges CPU/bus
  *                            time (directly or through its callees)
  *                            and is not annotated `analyze: free`.
+ *   deadlock                 whole-program lock analysis on resolved
+ *                            lock identities: lock-order cycles,
+ *                            non-reentrant re-acquisition, and
+ *                            co_await while a lock acquired by an
+ *                            earlier callee is still held.
+ *   determinism-taint        a wall-clock/PRNG value (or a call whose
+ *                            summarized return carries one) flowing
+ *                            into event scheduling — schedule(),
+ *                            scheduleIn/At(), Delay{...} or a
+ *                            parameter that provably reaches one.
  */
 
 #ifndef SHRIMP_TOOLS_ANALYZE_RULES_HH
@@ -44,6 +54,8 @@ void ruleSuspendUnderExclusion(const Project &p, std::vector<Finding> &out);
 void ruleDeterminism(const Project &p, std::vector<Finding> &out);
 void ruleLayering(const Project &p, std::vector<Finding> &out);
 void ruleChargedTime(const Project &p, std::vector<Finding> &out);
+void ruleDeadlock(const Project &p, std::vector<Finding> &out);
+void ruleTaint(const Project &p, std::vector<Finding> &out);
 
 } // namespace shrimp::analyze
 
