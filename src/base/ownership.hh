@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shard-ownership annotation vocabulary, consumed by shrimp_analyze's
+ * ownership & escape analysis (tools/analyze/ownership.cc) and by
+ * human readers deciding what a parallel shard may own.
+ *
+ * The analyzer classifies every class reachable from node::Node on a
+ * small lattice:
+ *
+ *   NodeOwned      reachable from Node by value (fields, owned
+ *                  containers, unique_ptr) — a shard can own it
+ *                  exclusively.
+ *   SharedRO       reached only through const references/pointers —
+ *                  immutable config; any shard may read it.
+ *   SharedMutable  reached through mutable references/pointers from
+ *                  more than one node's region — must stay on the
+ *                  coordinator or grow per-shard slices.
+ *   Escapes        NodeOwned state whose address provably leaks across
+ *                  a node boundary (into another node's methods, a
+ *                  net::Packet field, or a scheduled callable).
+ *
+ * The macros below are declarative markers placed inside class bodies.
+ * They compile to nothing (a vacuous static_assert) and carry no
+ * runtime cost; the analyzer reads them as seeds/overrides:
+ *
+ *   SHRIMP_SHARD_OWNED            assert this class is per-node state
+ *                                 even when it is not (yet) reachable
+ *                                 from node::Node by value (e.g. a
+ *                                 per-process Endpoint created by user
+ *                                 code). Also used as an extra BFS
+ *                                 seed.
+ *   SHRIMP_SHARD_SHARED(reason)   declare this class deliberately
+ *                                 machine-wide (Simulator, Mesh,
+ *                                 Machine): the analyzer classifies it
+ *                                 SharedMutable with the given reason
+ *                                 instead of reporting an escape.
+ *
+ * Site-level tags are comments, mirroring `analyze: allow(...)`:
+ *
+ *   // analyze: shared(reason)    allowlists one namespace/class-scope
+ *                                 mutable static (a deliberate
+ *                                 singleton such as StatRegistry) for
+ *                                 the shared-mutable-static rule. The
+ *                                 site still appears in the
+ *                                 --ownership-report escape table,
+ *                                 flagged `allowed`.
+ */
+
+#ifndef SHRIMP_BASE_OWNERSHIP_HH
+#define SHRIMP_BASE_OWNERSHIP_HH
+
+#define SHRIMP_SHARD_OWNED \
+    static_assert(true, "shard-ownership: per-node state")
+#define SHRIMP_SHARD_SHARED(reason) static_assert(true, "" reason)
+
+#endif // SHRIMP_BASE_OWNERSHIP_HH

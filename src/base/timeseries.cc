@@ -61,6 +61,8 @@ atExitDump()
 void
 installAtExit()
 {
+    // analyze: shared(std::atexit registration latch, per-process by
+    // nature)
     static bool installed = false;
     if (!installed) {
         installed = true;
@@ -79,6 +81,8 @@ sampleNow(Tick now, std::size_t pending)
 {
     gNextSample = now + gPeriod;
     if (gSamples.size() >= maxSamples) {
+        // analyze: shared(one-shot warning latch; worst case under
+        // shards is one duplicate warning line)
         static bool warned = false;
         if (!warned) {
             warned = true;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "base/ownership.hh"
 #include "base/types.hh"
 #include "sim/sync.hh"
 #include "sim/task.hh"
@@ -26,6 +27,8 @@ namespace shrimp::mem
 
 class Memory
 {
+    SHRIMP_SHARD_OWNED;
+
   public:
     Memory(sim::EventQueue &queue, std::size_t bytes, std::size_t page_bytes,
            std::string name = "mem");

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "base/config.hh"
+#include "base/ownership.hh"
 #include "net/packet.hh"
 #include "sim/bus.hh"
 #include "sim/sync.hh"
@@ -35,6 +36,9 @@ constexpr int numDirs = 4;
 
 class Router
 {
+    SHRIMP_SHARD_SHARED(
+        "per-hop fabric state owned by the mesh, not by any node");
+
   public:
     Router(sim::EventQueue &queue, NodeId id, const MachineConfig &cfg);
     ~Router();

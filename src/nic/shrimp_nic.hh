@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "base/config.hh"
+#include "base/ownership.hh"
 #include "base/span.hh"
 #include "base/stats.hh"
 #include "base/trace.hh"
@@ -34,6 +35,8 @@ namespace shrimp::nic
 
 class ShrimpNic
 {
+    SHRIMP_SHARD_OWNED;
+
   public:
     /**
      * @param input the router eject queue feeding the incoming engine

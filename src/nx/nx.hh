@@ -30,6 +30,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/ownership.hh"
 #include "base/stats.hh"
 #include "base/trace.hh"
 #include "nx/connection.hh"
@@ -59,6 +60,8 @@ struct RecvInfo
 
 class NxProc
 {
+    SHRIMP_SHARD_OWNED;
+
   public:
     NxProc(vmmc::Endpoint &ep, int rank, NxSystem &system);
 
@@ -266,6 +269,9 @@ class NxProc
  */
 class NxSystem
 {
+    SHRIMP_SHARD_SHARED(
+        "rank-to-process wiring for the whole machine");
+
   public:
     /** @param nprocs number of NX processes (<= one per node by default
      *  placement; more than one per node is allowed). */

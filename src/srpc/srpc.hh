@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "base/ownership.hh"
 #include "node/ether.hh"
 #include "vmmc/vmmc.hh"
 
@@ -127,6 +128,8 @@ inout(void *p, std::size_t n)
 
 class SrpcClient
 {
+    SHRIMP_SHARD_OWNED;
+
   public:
     SrpcClient(vmmc::Endpoint &ep, const Interface &iface);
 
@@ -184,6 +187,8 @@ class ServerCall
 
 class SrpcServer
 {
+    SHRIMP_SHARD_OWNED;
+
   public:
     SrpcServer(vmmc::Endpoint &ep, const Interface &iface,
                std::uint16_t port);

@@ -19,6 +19,7 @@
 #include <map>
 #include <vector>
 
+#include "base/ownership.hh"
 #include "base/stats.hh"
 #include "base/trace.hh"
 #include "node/ether.hh"
@@ -55,6 +56,8 @@ struct DaemonMsg
 
 class Daemon
 {
+    SHRIMP_SHARD_OWNED;
+
   public:
     Daemon(node::Node &node, node::EtherNet &ether);
 

@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/ownership.hh"
 #include "base/stats.hh"
 #include "base/trace.hh"
 #include "node/machine.hh"
@@ -37,6 +38,8 @@ namespace shrimp::vmmc
 
 class Endpoint
 {
+    SHRIMP_SHARD_OWNED;
+
   public:
     Endpoint(node::Process &proc, Daemon &daemon);
 
@@ -164,6 +167,9 @@ class Endpoint
  */
 class System
 {
+    SHRIMP_SHARD_SHARED(
+        "connection broker spanning every node's daemon");
+
   public:
     explicit System(MachineConfig cfg = MachineConfig{});
 

@@ -1,0 +1,21 @@
+// event-capture-escape fixtures: `this` captured into a scheduled
+// lambda (escape) vs a by-value snapshot (negative).
+#include "node/shard.hh"
+
+namespace fix
+{
+
+void
+Pump::arm(Sched &s)
+{
+    s.scheduleIn(8, [this] { ring_ = ring_ + 1; }); // escape
+}
+
+void
+Pump::disarm(Sched &s)
+{
+    int epoch = ring_;
+    s.scheduleIn(8, [epoch] { (void)epoch; }); // negative: by value
+}
+
+} // namespace fix

@@ -1,0 +1,41 @@
+// cross-node-escape fixtures: three escape shapes (store into a
+// foreign node-owned object, address into a carrier field, address
+// passed to a foreign object's method) with an own-field store and a
+// value copy as near-miss negatives.
+#include "node/shard.hh"
+
+namespace fix
+{
+
+void
+Peer::link(Peer &other)
+{
+    other.back_ = this; // escape: this crosses into the other node
+}
+
+void
+Peer::attach()
+{
+    self_ = this; // negative: own-field store stays intra-node
+}
+
+void
+Peer::fill(Packet &pkt, int n)
+{
+    pkt.len = n; // negative: a value copy travels, not an address
+    pkt.window = &scratch_.data[0]; // escape: pointer rides the packet
+}
+
+void
+Peer::send(Peer &other)
+{
+    other.stash(&scratch_); // escape: owned address to a foreign method
+}
+
+void
+Peer::stash(Buf *b)
+{
+    loan_ = b;
+}
+
+} // namespace fix

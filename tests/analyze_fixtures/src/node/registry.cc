@@ -1,0 +1,36 @@
+// shared-mutable-static fixtures: an unannotated function-local
+// static (finding), an allowlisted singleton and a const static
+// (negatives).
+#include "node/shard.hh"
+
+namespace fix
+{
+
+struct Reg
+{
+    int hits = 0;
+};
+
+Reg &
+global()
+{
+    static Reg reg; // every shard would share this registry
+    return reg;
+}
+
+Reg &
+allowedGlobal()
+{
+    // analyze: shared(deliberate machine-wide registry used by tests)
+    static Reg allowed;
+    return allowed;
+}
+
+int
+capacity()
+{
+    static const int cap = 64; // negative: immutable static
+    return cap;
+}
+
+} // namespace fix

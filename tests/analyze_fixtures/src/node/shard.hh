@@ -1,0 +1,72 @@
+// Ownership-lattice fixture corpus: Node owns Peer and Pump by value,
+// reads Config through a const reference, and Packet is the carrier
+// type messages travel in. escape.cc / captures.cc / registry.cc seed
+// one finding and one near-miss negative per ownership rule.
+#ifndef SHRIMP_TESTS_ANALYZE_FIXTURES_SRC_NODE_SHARD_HH
+#define SHRIMP_TESTS_ANALYZE_FIXTURES_SRC_NODE_SHARD_HH
+
+namespace fix
+{
+
+struct Config
+{
+    int window = 8;
+};
+
+struct Packet
+{
+    int len = 0;
+    char *window = nullptr;
+};
+
+struct Buf
+{
+    char data[64];
+};
+
+class Sched
+{
+  public:
+    void scheduleIn(int when, int thunk);
+};
+
+class Peer
+{
+  public:
+    void link(Peer &other);
+    void attach();
+    void fill(Packet &pkt, int n);
+    void send(Peer &other);
+    void stash(Buf *b);
+
+  private:
+    Peer *back_ = nullptr;
+    Peer *self_ = nullptr;
+    Buf *loan_ = nullptr;
+    Buf scratch_;
+};
+
+class Pump
+{
+  public:
+    void arm(Sched &s);
+    void disarm(Sched &s);
+
+  private:
+    int ring_ = 0;
+};
+
+class Node
+{
+  public:
+    explicit Node(const Config &cfg) : cfg_(cfg) {}
+
+  private:
+    Peer peer_;
+    Pump pump_;
+    const Config &cfg_;
+};
+
+} // namespace fix
+
+#endif // SHRIMP_TESTS_ANALYZE_FIXTURES_SRC_NODE_SHARD_HH

@@ -18,6 +18,7 @@
 
 #include "analyzer.hh"
 #include "baseline.hh"
+#include "ownership.hh"
 #include "sarif.hh"
 
 namespace shrimp::analyze
@@ -49,6 +50,9 @@ TEST(Analyze, FixtureCorpusYieldsExactlyTheSeededViolations)
 
     const std::multiset<std::string> want = {
         "charged-time|Engine::deliver",
+        "cross-node-escape|arg/Peer::send/stash",
+        "cross-node-escape|carrier/Peer::fill/window",
+        "cross-node-escape|store/Peer::link/other.back_",
         "deadlock|order/Pair::a_->Pair::b_",
         "deadlock|order/Pair::b_->Pair::a_",
         "deadlock|reacquire/Pair::oops/Pair::a_",
@@ -65,8 +69,10 @@ TEST(Analyze, FixtureCorpusYieldsExactlyTheSeededViolations)
         "dropped-task|runsNothing/pump/stored",
         "dropped-task|runsNothing/tick",
         "dropped-task|stockpiles/container/backlog",
+        "event-capture-escape|capture/Pump::arm/scheduleIn",
         "layering|cycle/base/loop_a.hh->base/loop_b.hh->base/loop_a.hh",
         "layering|mem/backdoor.hh->net/wire.hh",
+        "shared-mutable-static|static/global/reg",
         "suspend-under-exclusion|badCritical/gate_",
     };
     EXPECT_EQ(keys(findings), want) << dump(findings);
@@ -79,8 +85,9 @@ TEST(Analyze, FixtureCorpusCoversEveryRule)
     for (const Finding &f : findings)
         rules.insert(f.rule);
     const std::set<std::string> want = {
-        "charged-time", "deadlock", "determinism", "determinism-taint",
-        "dropped-task", "layering", "suspend-under-exclusion",
+        "charged-time", "cross-node-escape", "deadlock", "determinism",
+        "determinism-taint", "dropped-task", "event-capture-escape",
+        "layering", "shared-mutable-static", "suspend-under-exclusion",
     };
     EXPECT_EQ(rules, want) << dump(findings);
 }
@@ -204,6 +211,69 @@ TEST(Analyze, CacheInvalidatesWhenAFileChanges)
 
     fs::remove_all(root);
     fs::remove_all(cache);
+}
+
+TEST(Analyze, OwnershipMapClassifiesTheFixtureLattice)
+{
+    const Project p = loadProject(SHRIMP_ANALYZE_FIXTURES);
+    const auto &cls = p.ownership.classes;
+
+    auto verdict = [&](const std::string &name) {
+        auto it = cls.find(name);
+        return it == cls.end()
+                   ? std::string("missing")
+                   : std::string(ownName(it->second.verdict));
+    };
+    EXPECT_EQ(verdict("Node"), "node-owned");
+    // Buf is node-owned transitively: Peer holds it by value.
+    EXPECT_EQ(verdict("Buf"), "node-owned");
+    // Config is reached only through `const Config &Node::cfg_`.
+    EXPECT_EQ(verdict("Config"), "shared-ro");
+    // The seeded escapes demote Peer and Pump to the lattice bottom.
+    EXPECT_EQ(verdict("Peer"), "escapes");
+    EXPECT_EQ(verdict("Pump"), "escapes");
+    ASSERT_NE(cls.find("Packet"), cls.end());
+    EXPECT_TRUE(cls.at("Packet").carrier);
+}
+
+TEST(Analyze, JobsOneAndManyProduceIdenticalOutput)
+{
+    const auto one = analyzeTrees({SHRIMP_ANALYZE_FIXTURES}, "", 1);
+    const auto many = analyzeTrees({SHRIMP_ANALYZE_FIXTURES}, "", 4);
+    const auto hw = analyzeTrees({SHRIMP_ANALYZE_FIXTURES}, "", 0);
+    EXPECT_EQ(dump(many), dump(one));
+    EXPECT_EQ(dump(hw), dump(one));
+
+    // The ownership report must be byte-identical too.
+    EXPECT_EQ(ownershipJson(loadProject({SHRIMP_ANALYZE_FIXTURES}, "", 4)),
+              ownershipJson(loadProject({SHRIMP_ANALYZE_FIXTURES}, "", 1)));
+}
+
+TEST(Analyze, BuildDirsAndDotDirsAreSkipped)
+{
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::path(::testing::TempDir()) / "shrimp_analyze_build_skip";
+    fs::remove_all(root);
+    fs::create_directories(root / "sim");
+    fs::create_directories(root / "build");
+    fs::create_directories(root / "build-asan" / "sim");
+    fs::create_directories(root / ".cache");
+
+    const char *bug = "namespace x {\n"
+                      "template <typename T = void> class Task;\n"
+                      "Task<> work();\n"
+                      "void go()\n{\n    work();\n}\n"
+                      "} // namespace x\n";
+    std::ofstream(root / "sim" / "live.cc") << bug;
+    std::ofstream(root / "build" / "gen.cc") << bug;
+    std::ofstream(root / "build-asan" / "sim" / "gen.cc") << bug;
+    std::ofstream(root / ".cache" / "gen.cc") << bug;
+
+    const auto findings = analyzeTrees({root.string()});
+    ASSERT_EQ(findings.size(), 1u) << dump(findings);
+    EXPECT_EQ(findings[0].file, "sim/live.cc");
+    fs::remove_all(root);
 }
 
 // ---------------------------------------------------------------------
@@ -409,6 +479,61 @@ TEST(Analyze, SarifReportMatchesTheSarif210Structure)
         EXPECT_EQ(res["partialFingerprints"]["shrimpAnalyze/v1"].str,
                   f.rule + "|" + f.file + "|" + f.fingerprint);
     }
+}
+
+TEST(Analyze, SarifDriverDescribesTheOwnershipRules)
+{
+    const auto findings = analyzeTree(SHRIMP_ANALYZE_FIXTURES);
+    const std::string text = sarifReport(findings, "src", {});
+    JsonParser p{text};
+    const Json doc = p.value();
+    ASSERT_TRUE(p.ok);
+
+    std::set<std::string> ids;
+    for (const Json &r :
+         doc["runs"].at(0)["tool"]["driver"]["rules"].arr)
+        ids.insert(r["id"].str);
+    EXPECT_EQ(ids.count("shared-mutable-static"), 1u);
+    EXPECT_EQ(ids.count("cross-node-escape"), 1u);
+    EXPECT_EQ(ids.count("event-capture-escape"), 1u);
+}
+
+TEST(Analyze, OwnershipReportIsWellFormedAndMarksAllowedEdges)
+{
+    const Project p = loadProject(SHRIMP_ANALYZE_FIXTURES);
+    const std::string text = ownershipJson(p);
+
+    JsonParser jp{text};
+    const Json doc = jp.value();
+    jp.ws();
+    ASSERT_TRUE(jp.ok && jp.i == text.size())
+        << "ownership report is not well-formed JSON";
+    EXPECT_EQ(doc["tool"].str, "shrimp_analyze");
+    EXPECT_EQ(doc["report"].str, "shard-ownership");
+    EXPECT_EQ(doc["root"].str, "Node");
+
+    ASSERT_EQ(doc["classes"].kind, Json::Arr);
+    EXPECT_EQ(doc["classes"].arr.size(), p.ownership.classes.size());
+
+    // Allowlisted edges stay visible in the report (flagged allowed)
+    // while denied ones surface as findings.
+    ASSERT_EQ(doc["escapes"].kind, Json::Arr);
+    bool sawAllowed = false;
+    bool sawDenied = false;
+    for (const Json &e : doc["escapes"].arr) {
+        EXPECT_FALSE(e["rule"].str.empty());
+        EXPECT_FALSE(e["fingerprint"].str.empty());
+        if (e["fingerprint"].str == "static/allowedGlobal/allowed") {
+            EXPECT_TRUE(e["allowed"].b);
+            sawAllowed = true;
+        }
+        if (e["fingerprint"].str == "static/global/reg") {
+            EXPECT_FALSE(e["allowed"].b);
+            sawDenied = true;
+        }
+    }
+    EXPECT_TRUE(sawAllowed);
+    EXPECT_TRUE(sawDenied);
 }
 
 } // namespace

@@ -1,14 +1,19 @@
 #include "analyzer.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "cache.hh"
 #include "dataflow.hh"
 #include "lexer.hh"
+#include "ownership.hh"
 #include "parse.hh"
 #include "rules.hh"
 #include "types.hh"
@@ -26,6 +31,58 @@ isSourceExt(const std::string &ext)
 {
     return ext == ".hh" || ext == ".cc" || ext == ".hpp" ||
            ext == ".cpp";
+}
+
+/** Directories the scan never descends into: build trees (any
+ *  `build*` — a stray `cmake -B build-foo` inside a scan root must
+ *  not pollute the symbol index) and dot-directories (.git, .cache). */
+bool
+skipDirName(const std::string &name)
+{
+    return name.rfind("build", 0) == 0 ||
+           (!name.empty() && name[0] == '.');
+}
+
+/** One file scheduled for loading. Collected up front in sorted order
+ *  so the parallel workers fill pre-assigned slots and the merged
+ *  Project is byte-identical for any --jobs value. */
+struct WorkItem
+{
+    fs::path abs;
+    std::string rel;   //!< label-prefixed path ("tools/report/main.cc")
+    std::string plain; //!< root-relative path (cache key source)
+};
+
+/** Lex/parse/extract one file, via the facts cache when possible. */
+void
+loadOne(const WorkItem &w, const std::string &cacheDir, SourceFile &f)
+{
+    std::ifstream in(w.abs);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    f.rel = w.rel;
+    const std::size_t slash = f.rel.find('/');
+    f.dir = slash == std::string::npos ? "" : f.rel.substr(0, slash);
+    f.isHeader =
+        w.plain.size() > 3 &&
+        (w.plain.compare(w.plain.size() - 3, 3, ".hh") == 0 ||
+         w.plain.compare(w.plain.size() - 4, 4, ".hpp") == 0);
+
+    const std::string hash = contentHash(text);
+    std::string cachePath;
+    if (!cacheDir.empty())
+        cachePath =
+            (fs::path(cacheDir) / cacheEntryName(f.rel)).generic_string();
+
+    if (cachePath.empty() || !loadCachedFile(cachePath, hash, f)) {
+        lexFile(text, f);
+        parseFile(f);
+        extractTypes(f);
+        if (!cachePath.empty())
+            storeCachedFile(cachePath, hash, f);
+    }
 }
 
 /** Canonicalize include directives against the loaded file set so the
@@ -65,23 +122,31 @@ canonicalizeIncludes(Project &p, const std::vector<std::string> &labels)
 
 Project
 loadProject(const std::vector<std::string> &roots,
-            const std::string &cacheDir)
+            const std::string &cacheDir, int jobs)
 {
     Project p;
     if (!cacheDir.empty())
         fs::create_directories(cacheDir);
 
     std::vector<std::string> labels; // secondary-root path prefixes
+    std::vector<WorkItem> items;
     for (std::size_t r = 0; r < roots.size(); ++r) {
         const std::string &root = roots[r];
         const std::string label =
-            r == 0 ? ""
-                   : fs::path(root).filename().generic_string();
+            r == 0 ? "" : fs::path(root).filename().generic_string();
         if (r != 0)
             labels.push_back(label);
 
         std::vector<std::string> rels;
-        for (const auto &ent : fs::recursive_directory_iterator(root)) {
+        for (auto it = fs::recursive_directory_iterator(root);
+             it != fs::recursive_directory_iterator(); ++it) {
+            const auto &ent = *it;
+            if (ent.is_directory()) {
+                if (skipDirName(
+                        ent.path().filename().generic_string()))
+                    it.disable_recursion_pending();
+                continue;
+            }
             if (!ent.is_regular_file())
                 continue;
             if (!isSourceExt(ent.path().extension().string()))
@@ -91,51 +156,67 @@ loadProject(const std::vector<std::string> &roots,
         }
         std::sort(rels.begin(), rels.end()); // host dir order varies
 
-        for (const std::string &rel : rels) {
-            std::ifstream in(fs::path(root) / rel);
-            std::stringstream ss;
-            ss << in.rdbuf();
-            const std::string text = ss.str();
+        for (const std::string &rel : rels)
+            items.push_back({fs::path(root) / rel,
+                             label.empty() ? rel : label + "/" + rel,
+                             rel});
+    }
 
-            SourceFile f;
-            f.rel = label.empty() ? rel : label + "/" + rel;
-            const std::size_t slash = f.rel.find('/');
-            f.dir = slash == std::string::npos ? ""
-                                               : f.rel.substr(0, slash);
-            f.isHeader = rel.size() > 3 &&
-                         (rel.compare(rel.size() - 3, 3, ".hh") == 0 ||
-                          rel.compare(rel.size() - 4, 4, ".hpp") == 0);
+    p.files.resize(items.size());
+    std::size_t n = jobs <= 0
+                        ? std::max(1u,
+                                   std::thread::hardware_concurrency())
+                        : std::size_t(jobs);
+    n = std::min(n, items.size() == 0 ? std::size_t(1) : items.size());
 
-            const std::string hash = contentHash(text);
-            std::string cachePath;
-            if (!cacheDir.empty())
-                cachePath = (fs::path(cacheDir) /
-                             cacheEntryName(f.rel))
-                                .generic_string();
-
-            if (cachePath.empty() ||
-                !loadCachedFile(cachePath, hash, f)) {
-                lexFile(text, f);
-                parseFile(f);
-                extractTypes(f);
-                if (!cachePath.empty())
-                    storeCachedFile(cachePath, hash, f);
+    if (n <= 1) {
+        for (std::size_t i = 0; i < items.size(); ++i)
+            loadOne(items[i], cacheDir, p.files[i]);
+    } else {
+        // Workers pull indices from a shared counter and write into
+        // their item's pre-assigned slot; cache entries are per-file
+        // paths, so writes never collide. The merged order is the
+        // collection order above regardless of scheduling.
+        std::atomic<std::size_t> next{0};
+        std::exception_ptr firstError;
+        std::mutex errLock;
+        auto worker = [&]() {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= items.size())
+                    return;
+                try {
+                    loadOne(items[i], cacheDir, p.files[i]);
+                } catch (...) {
+                    const std::lock_guard<std::mutex> g(errLock);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                }
             }
-            p.files.push_back(std::move(f));
-        }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(n);
+        for (std::size_t t = 0; t < n; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+        if (firstError)
+            std::rethrow_exception(firstError);
     }
 
     canonicalizeIncludes(p, labels);
     buildTaskIndex(p);
     buildTypeIndex(p);
     buildSummaries(p);
+    buildOwnership(p);
     return p;
 }
 
 Project
 loadProject(const std::string &includeRoot)
 {
-    return loadProject(std::vector<std::string>{includeRoot}, "");
+    return loadProject(std::vector<std::string>{includeRoot}, "", 1);
 }
 
 std::vector<Finding>
@@ -149,6 +230,9 @@ runRules(const Project &p)
     ruleChargedTime(p, out);
     ruleDeadlock(p, out);
     ruleTaint(p, out);
+    ruleSharedMutableStatic(p, out);
+    ruleCrossNodeEscape(p, out);
+    ruleEventCaptureEscape(p, out);
     std::sort(out.begin(), out.end(),
               [](const Finding &a, const Finding &b) {
                   if (a.file != b.file)
@@ -171,9 +255,9 @@ analyzeTree(const std::string &includeRoot)
 
 std::vector<Finding>
 analyzeTrees(const std::vector<std::string> &roots,
-             const std::string &cacheDir)
+             const std::string &cacheDir, int jobs)
 {
-    const Project p = loadProject(roots, cacheDir);
+    const Project p = loadProject(roots, cacheDir, jobs);
     return runRules(p);
 }
 

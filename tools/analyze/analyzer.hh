@@ -30,9 +30,14 @@ namespace shrimp::analyze
 /** Lex + parse + index every C++ file under @p roots (first root
  *  unprefixed, later roots label-prefixed). @p cacheDir, when
  *  non-empty, holds per-file facts keyed by content hash; it is
- *  created if missing. */
+ *  created if missing. @p jobs parallelizes the per-file
+ *  lex/parse/extract stage (<=0 means hardware concurrency); the file
+ *  list is collected and sorted before any worker starts, and each
+ *  worker fills its file's pre-assigned slot, so results are
+ *  byte-identical for every jobs value. Directories named `build*` or
+ *  starting with `.` are never scanned. */
 Project loadProject(const std::vector<std::string> &roots,
-                    const std::string &cacheDir = "");
+                    const std::string &cacheDir = "", int jobs = 1);
 
 /** Single-root convenience overload. */
 Project loadProject(const std::string &includeRoot);
@@ -43,9 +48,10 @@ std::vector<Finding> runRules(const Project &p);
 /** loadProject + runRules. */
 std::vector<Finding> analyzeTree(const std::string &includeRoot);
 
-/** Multi-root + cache variant of analyzeTree. */
+/** Multi-root + cache + jobs variant of analyzeTree. */
 std::vector<Finding> analyzeTrees(const std::vector<std::string> &roots,
-                                  const std::string &cacheDir = "");
+                                  const std::string &cacheDir = "",
+                                  int jobs = 1);
 
 /** `file:line: [rule] message` */
 std::string formatFinding(const Finding &f);

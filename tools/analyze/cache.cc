@@ -11,8 +11,9 @@ namespace shrimp::analyze
 namespace
 {
 
-/** Bump when any serialized structure changes shape. */
-constexpr int kFormatVersion = 1;
+/** Bump when any serialized structure changes shape.
+ *  v2: `analyze: shared(...)` annotations join the mined facts. */
+constexpr int kFormatVersion = 2;
 
 /** "-" stands in for an empty string in fixed (non-trailing) fields. */
 std::string

@@ -30,8 +30,11 @@ identChar(char c)
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/** Mine a comment for `analyze: allow(rule)` / `analyze: free`
- *  annotations (several may appear in one comment). */
+/** Mine a comment for `analyze: allow(rule)` / `analyze: free` /
+ *  `analyze: shared(reason)` annotations (several may appear in one
+ *  comment). `shared` allowlists a deliberate machine-wide singleton
+ *  for the shared-mutable-static rule; the reason text stays in the
+ *  comment for the reader — only the tag is recorded. */
 void
 mineComment(const std::string &text, int line, SourceFile &out)
 {
@@ -47,6 +50,8 @@ mineComment(const std::string &text, int line, SourceFile &out)
             ++p;
         if (text.compare(p, 4, "free") == 0) {
             out.annotations.push_back({atLine, "charged-time"});
+        } else if (text.compare(p, 6, "shared") == 0) {
+            out.annotations.push_back({atLine, "shared"});
         } else if (text.compare(p, 5, "allow") == 0) {
             std::size_t open = text.find('(', p);
             std::size_t close =
@@ -222,10 +227,16 @@ lexFile(const std::string &text, SourceFile &out)
 
         if (std::isdigit(static_cast<unsigned char>(c))) {
             std::size_t j = i + 1;
-            while (j < n && (identChar(text[j]) || text[j] == '.' ||
-                             ((text[j] == '+' || text[j] == '-') &&
-                              (text[j - 1] == 'e' || text[j - 1] == 'E' ||
-                               text[j - 1] == 'p' || text[j - 1] == 'P'))))
+            // Digit separators (200'000) are part of the literal; a
+            // stray `'` here must not open a char literal and swallow
+            // everything up to the next apostrophe in the file.
+            while (j < n &&
+                   (identChar(text[j]) || text[j] == '.' ||
+                    (text[j] == '\'' && j + 1 < n &&
+                     identChar(text[j + 1])) ||
+                    ((text[j] == '+' || text[j] == '-') &&
+                     (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                      text[j - 1] == 'p' || text[j - 1] == 'P'))))
                 ++j;
             out.toks.push_back({Tok::Number, text.substr(i, j - i), line});
             i = j;

@@ -23,6 +23,14 @@
  *     --cache=DIR          per-file facts cache keyed by content hash;
  *                          created if missing. Cold and warm runs
  *                          produce identical findings.
+ *     --jobs=N             parallel per-file lexing/parsing workers
+ *                          (0 = hardware concurrency, the default).
+ *                          Findings and reports are byte-identical
+ *                          for every N.
+ *     --ownership-report=FILE
+ *                          write the shard-ownership JSON (per-class
+ *                          lattice verdicts + escape edges) — the
+ *                          partition plan for ROADMAP item 2.
  *
  * Exit status: 0 clean (all findings baselined), 1 fresh findings,
  * 2 usage or I/O error.
@@ -38,6 +46,7 @@
 
 #include "analyzer.hh"
 #include "baseline.hh"
+#include "ownership.hh"
 #include "sarif.hh"
 
 namespace
@@ -53,6 +62,8 @@ run(int argc, char **argv)
     std::string reportPath;
     std::string sarifPath;
     std::string cacheDir;
+    std::string ownershipPath;
+    int jobs = 0; // 0 = hardware concurrency
     bool updateBaseline = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -67,7 +78,17 @@ run(int argc, char **argv)
             sarifPath = arg.substr(8);
         else if (arg.rfind("--cache=", 0) == 0)
             cacheDir = arg.substr(8);
-        else if (arg.rfind("--", 0) == 0) {
+        else if (arg.rfind("--ownership-report=", 0) == 0)
+            ownershipPath = arg.substr(19);
+        else if (arg.rfind("--jobs=", 0) == 0) {
+            try {
+                jobs = std::stoi(arg.substr(7));
+            } catch (const std::exception &) {
+                std::cerr << "shrimp_analyze: bad --jobs value: " << arg
+                          << "\n";
+                return 2;
+            }
+        } else if (arg.rfind("--", 0) == 0) {
             std::cerr << "shrimp_analyze: unknown option " << arg << "\n";
             return 2;
         } else
@@ -91,7 +112,18 @@ run(int argc, char **argv)
             baselinePath = guess.string();
     }
 
-    const std::vector<Finding> findings = analyzeTrees(roots, cacheDir);
+    const Project proj = loadProject(roots, cacheDir, jobs);
+    const std::vector<Finding> findings = runRules(proj);
+
+    if (!ownershipPath.empty()) {
+        std::ofstream out(ownershipPath);
+        if (!out) {
+            std::cerr << "shrimp_analyze: cannot write "
+                      << ownershipPath << "\n";
+            return 2;
+        }
+        out << ownershipJson(proj);
+    }
 
     if (!sarifPath.empty()) {
         std::set<std::string> labeled;

@@ -165,6 +165,59 @@ struct FnSummary
     std::set<std::string> releases;
 };
 
+/** Ownership lattice verdicts (ownership.cc). Order is meaningful
+ *  only for display; classification precedence is documented in
+ *  DESIGN.md §12. */
+enum class Own
+{
+    Unknown,       //!< defined in-tree but not reachable from Node
+    NodeOwned,     //!< reachable from node::Node by value — shardable
+    SharedRO,      //!< reached only through const refs/pointers
+    SharedMutable, //!< mutable cross-node state (or annotated shared)
+    Escapes,       //!< NodeOwned, but its address leaks across nodes
+};
+
+/** Lattice name as it appears in reports ("node-owned", ...). */
+const char *ownName(Own o);
+
+/** Per-class ownership verdict with provenance. */
+struct ClassVerdict
+{
+    Own verdict = Own::Unknown;
+    std::string why;  //!< "value field Node::mem_", annotation, escape
+    std::string file; //!< defining file (first definition seen)
+    int line = 0;
+    bool carrier = false; //!< message type crossing nodes by value
+    bool annotatedOwned = false;  //!< SHRIMP_SHARD_OWNED in the body
+    bool annotatedShared = false; //!< SHRIMP_SHARD_SHARED(...) in body
+};
+
+/** One escape edge: node-owned (or static) state whose address leaves
+ *  its ownership region. `allowed` edges are annotation-suppressed —
+ *  they appear in the ownership report but produce no finding. */
+struct EscapeEdge
+{
+    std::string rule;  //!< shared-mutable-static / cross-node-escape /
+                       //!< event-capture-escape
+    std::string scope; //!< enclosing function key or class, or ""
+    std::string what;  //!< the escaping state ("this", "Peer::buf_")
+    std::string dest;  //!< where it goes ("Packet::window", callee)
+    std::string file;
+    int line = 0;
+    std::string fingerprint;
+    std::string message;
+    bool allowed = false;
+};
+
+/** Output of buildOwnership(): per-class verdicts + escape edges. */
+struct OwnershipMap
+{
+    std::map<std::string, ClassVerdict> classes;
+    std::vector<EscapeEdge> edges; //!< deterministic detection order
+
+    bool nodeOwned(const std::string &cls) const;
+};
+
 /** Everything the rules see. */
 struct Project
 {
@@ -180,6 +233,8 @@ struct Project
     TypeIndex types;
     /** Function key -> summary (see FnSummary). */
     std::map<std::string, FnSummary> summaries;
+    /** Ownership & escape analysis results (ownership.cc). */
+    OwnershipMap ownership;
 
     const SourceFile *file(const std::string &rel) const;
     /** Summary lookup: "Class::name" first, then bare "name"; null if

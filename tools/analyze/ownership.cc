@@ -1,0 +1,936 @@
+/**
+ * @file
+ * Ownership & escape analysis (see ownership.hh for the model).
+ *
+ * Determinism: classes live in a std::map (name order), escape edges
+ * are appended in (file, function, token) order, and nothing here
+ * consults the host — cold/warm cache runs and 1-job/N-job runs
+ * produce byte-identical reports.
+ */
+
+#include "ownership.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <deque>
+#include <sstream>
+
+#include "callgraph.hh"
+#include "dataflow.hh"
+#include "parse.hh"
+#include "types.hh"
+
+namespace shrimp::analyze
+{
+
+namespace
+{
+
+/** Template wrappers that do NOT own their pointee: reaching a class
+ *  only through one of these is reference reachability, not value
+ *  containment. Everything else (vector, unique_ptr, optional, map,
+ *  project templates like Channel<T>) owns its arguments. */
+const std::set<std::string> nonOwningWrappers = {
+    "shared_ptr", "weak_ptr", "reference_wrapper", "span",
+    "initializer_list", "function", "basic_string_view",
+    "string_view",
+};
+
+/** Message types that cross node boundaries *by value*. Storing a
+ *  pointer into one smuggles an address across the boundary. */
+const std::set<std::string> carrierClasses = {
+    "Packet", "EtherFrame",
+};
+
+/** The outermost template name of @p type ("std::vector<X>" ->
+ *  "vector"), or the last `::` component when not a template. */
+std::string
+outerName(const std::string &type)
+{
+    const std::size_t lt = type.find('<');
+    std::string head = lt == std::string::npos ? type
+                                               : type.substr(0, lt);
+    const std::size_t colons = head.rfind("::");
+    if (colons != std::string::npos)
+        head = head.substr(colons + 2);
+    while (!head.empty() && head.back() == ' ')
+        head.pop_back();
+    return head;
+}
+
+/** Top-level template arguments of @p type, split on depth-1 commas. */
+std::vector<std::string>
+templateArgs(const std::string &type)
+{
+    std::vector<std::string> out;
+    const std::size_t lt = type.find('<');
+    if (lt == std::string::npos)
+        return out;
+    int depth = 0;
+    std::size_t start = lt + 1;
+    for (std::size_t i = lt; i < type.size(); ++i) {
+        const char c = type[i];
+        if (c == '<') {
+            ++depth;
+        } else if (c == '>') {
+            if (--depth == 0) {
+                if (i > start)
+                    out.push_back(type.substr(start, i - start));
+                break;
+            }
+        } else if (c == ',' && depth == 1) {
+            out.push_back(type.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string
+trimmed(const std::string &s)
+{
+    std::string t = s;
+    while (!t.empty() && t.back() == ' ')
+        t.pop_back();
+    std::size_t b = 0;
+    while (b < t.size() && t[b] == ' ')
+        ++b;
+    return t.substr(b);
+}
+
+bool
+isRefOrPtr(const std::string &rawType)
+{
+    const std::string t = trimmed(rawType);
+    return !t.empty() && (t.back() == '&' || t.back() == '*');
+}
+
+bool
+isConstQualified(const std::string &rawType)
+{
+    return trimmed(rawType).compare(0, 6, "const ") == 0;
+}
+
+/** Every in-scope class @p rawType holds *by value*: alias layers are
+ *  walked with the ref/pointer check applied per layer (an alias to a
+ *  pointer does not own), then wrappers/templates are unwrapped
+ *  recursively. */
+void
+ownedClassesOf(const TypeIndex &ix, const std::set<std::string> &known,
+               const std::string &rawType, std::vector<std::string> &out,
+               int depth = 0)
+{
+    if (depth > 4)
+        return;
+    std::string t = trimmed(rawType);
+    for (int guard = 0; guard < 8; ++guard) {
+        if (isRefOrPtr(t))
+            return;
+        const std::string s = stripCv(t);
+        auto it = ix.aliases.find(s);
+        if (it == ix.aliases.end()) {
+            t = s;
+            break;
+        }
+        t = trimmed(it->second);
+    }
+    const std::string outer = outerName(t);
+    if (nonOwningWrappers.count(outer) != 0)
+        return;
+    if (known.count(outer) != 0)
+        out.push_back(outer);
+    for (const std::string &arg : templateArgs(t))
+        ownedClassesOf(ix, known, arg, out, depth + 1);
+}
+
+bool
+isCarrier(const std::string &cls)
+{
+    return carrierClasses.count(cls) != 0;
+}
+
+const std::set<std::string> constishKeywords = {
+    "const", "constexpr", "consteval", "constinit", "thread_local",
+};
+
+/** Keywords that disqualify the token after `static` from starting a
+ *  data declaration we want to report. */
+const std::set<std::string> staticDeclStoppers = {
+    "struct", "class", "union", "enum", "using", "typedef", "void",
+    "friend", "operator", "template", "inline", "assert",
+};
+
+/** Resolver for names inside one function: locals, then parameters,
+ *  then fields of the enclosing class. Returns the raw declared type
+ *  ("" if unknown) and whether the name is a field. */
+struct NameEnv
+{
+    const Project &p;
+    const FnDef &fn;
+    const std::map<std::string, std::string> *fields = nullptr;
+
+    explicit NameEnv(const Project &proj, const FnDef &f) : p(proj), fn(f)
+    {
+        if (!f.className.empty()) {
+            auto it = proj.types.fields.find(f.className);
+            if (it != proj.types.fields.end())
+                fields = &it->second;
+        }
+    }
+
+    std::string typeOf(const std::string &name, bool &isField) const
+    {
+        isField = false;
+        for (const Local &l : fn.locals)
+            if (l.name == name)
+                return l.type;
+        for (const Param &pr : fn.params)
+            if (pr.name == name)
+                return pr.type;
+        if (fields != nullptr) {
+            auto it = fields->find(name);
+            if (it != fields->end()) {
+                isField = true;
+                return it->second;
+            }
+        }
+        return "";
+    }
+};
+
+} // namespace
+
+const char *
+ownName(Own o)
+{
+    switch (o) {
+    case Own::NodeOwned:
+        return "node-owned";
+    case Own::SharedRO:
+        return "shared-ro";
+    case Own::SharedMutable:
+        return "shared-mutable";
+    case Own::Escapes:
+        return "escapes";
+    case Own::Unknown:
+        break;
+    }
+    return "unknown";
+}
+
+bool
+OwnershipMap::nodeOwned(const std::string &cls) const
+{
+    auto it = classes.find(cls);
+    return it != classes.end() && (it->second.verdict == Own::NodeOwned ||
+                                   it->second.verdict == Own::Escapes);
+}
+
+bool
+inOwnershipScope(const std::string &dir)
+{
+    static const std::set<std::string> dirs = {
+        "base", "check", "sim", "mem", "net", "nic",
+        "node", "vmmc",  "nx",  "rpc", "sock", "srpc",
+    };
+    return dirs.count(dir) != 0;
+}
+
+namespace
+{
+
+/** Stage 1: collect in-scope classes and their body annotations.
+ *  Nested class bodies are excluded from the enclosing class's scan so
+ *  an inner marker is not attributed to the outer class. */
+void
+collectClasses(const Project &p, OwnershipMap &m)
+{
+    for (const SourceFile &f : p.files) {
+        if (!inOwnershipScope(f.dir))
+            continue;
+        for (const ClassDef &cd : f.classes) {
+            if (cd.name.empty() || cd.name == "?")
+                continue;
+            ClassVerdict &cv = m.classes[cd.name];
+            if (cv.file.empty()) {
+                cv.file = f.rel;
+                cv.line = cd.line;
+            }
+            cv.carrier = cv.carrier || isCarrier(cd.name);
+            for (std::size_t k = cd.bodyBegin + 1;
+                 k + 1 < cd.bodyEnd && k < f.toks.size(); ++k) {
+                bool nested = false;
+                for (const ClassDef &o : f.classes)
+                    if (o.bodyBegin > cd.bodyBegin &&
+                        o.bodyEnd < cd.bodyEnd && k > o.bodyBegin &&
+                        k < o.bodyEnd) {
+                        nested = true;
+                        break;
+                    }
+                if (nested || !f.toks[k].ident())
+                    continue;
+                if (f.toks[k].text == "SHRIMP_SHARD_OWNED")
+                    cv.annotatedOwned = true;
+                else if (f.toks[k].text == "SHRIMP_SHARD_SHARED")
+                    cv.annotatedShared = true;
+            }
+        }
+    }
+}
+
+/** Stage 2+3: value-containment BFS from the seeds, then the
+ *  reference closure to a fixpoint. */
+void
+classifyClasses(const Project &p, OwnershipMap &m)
+{
+    std::set<std::string> known;
+    for (const auto &[name, cv] : m.classes)
+        known.insert(name);
+
+    std::deque<std::string> work;
+    for (auto &[name, cv] : m.classes) {
+        if (cv.annotatedShared) {
+            cv.verdict = Own::SharedMutable;
+            cv.why = "SHRIMP_SHARD_SHARED annotation";
+            continue;
+        }
+        if (name == "Node" || cv.annotatedOwned) {
+            cv.verdict = Own::NodeOwned;
+            cv.why = name == "Node" ? "ownership root"
+                                    : "SHRIMP_SHARD_OWNED annotation";
+            work.push_back(name);
+        }
+    }
+
+    // Value containment: owning fields of NodeOwned classes are
+    // NodeOwned. Value containment outranks reference reachability, so
+    // this whole wave runs before any Shared verdict is assigned.
+    while (!work.empty()) {
+        const std::string cls = work.front();
+        work.pop_front();
+        auto fit = p.types.fields.find(cls);
+        if (fit == p.types.fields.end())
+            continue;
+        for (const auto &[fname, ftype] : fit->second) {
+            std::vector<std::string> owned;
+            ownedClassesOf(p.types, known, ftype, owned);
+            for (const std::string &t : owned) {
+                ClassVerdict &tv = m.classes[t];
+                if (tv.verdict != Own::Unknown)
+                    continue;
+                tv.verdict = Own::NodeOwned;
+                tv.why = "value field " + cls + "::" + fname;
+                work.push_back(t);
+            }
+        }
+    }
+
+    // Reference closure: const refs/pointers propagate SharedRO,
+    // mutable ones SharedMutable; value fields of a Shared class share
+    // its verdict. Already-classified classes are never demoted.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto &[cls, cv] : m.classes) {
+            if (cv.verdict == Own::Unknown)
+                continue;
+            auto fit = p.types.fields.find(cls);
+            if (fit == p.types.fields.end())
+                continue;
+            for (const auto &[fname, ftype] : fit->second) {
+                if (isRefOrPtr(ftype)) {
+                    const std::string target =
+                        typeClassName(p.types, ftype);
+                    if (target.empty() ||
+                        m.classes.count(target) == 0)
+                        continue;
+                    ClassVerdict &tv = m.classes[target];
+                    if (tv.verdict != Own::Unknown)
+                        continue;
+                    const bool ro = isConstQualified(ftype);
+                    tv.verdict = ro ? Own::SharedRO
+                                    : Own::SharedMutable;
+                    tv.why = std::string(ro ? "const" : "mutable") +
+                             " reference " + cls + "::" + fname;
+                    changed = true;
+                } else if (cv.verdict == Own::SharedRO ||
+                           cv.verdict == Own::SharedMutable) {
+                    std::vector<std::string> owned;
+                    ownedClassesOf(p.types, known, ftype, owned);
+                    for (const std::string &t : owned) {
+                        ClassVerdict &tv = m.classes[t];
+                        if (tv.verdict != Own::Unknown)
+                            continue;
+                        tv.verdict = cv.verdict;
+                        tv.why = "value field of shared " + cls +
+                                 "::" + fname;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/** Detector: namespace/class/function-scope mutable `static` data. */
+void
+detectStatics(const SourceFile &f, OwnershipMap &m)
+{
+    const Tokens &toks = f.toks;
+    for (std::size_t k = 0; k < toks.size(); ++k) {
+        if (!toks[k].ident() || toks[k].text != "static")
+            continue;
+        if (k + 1 < toks.size() && toks[k + 1].ident() &&
+            staticDeclStoppers.count(toks[k + 1].text) != 0)
+            continue;
+
+        // Scan the declaration head. `(` before the terminator means a
+        // function (or a paren-initialized static — a documented false
+        // negative); any const-ish keyword means immutable storage.
+        bool skip = false;
+        std::size_t declEnd = 0;
+        int angle = 0;
+        for (std::size_t q = k + 1;
+             q < toks.size() && q < k + 80 && declEnd == 0; ++q) {
+            const Token &t = toks[q];
+            if (t.ident() && constishKeywords.count(t.text) != 0) {
+                skip = true;
+                break;
+            }
+            if (t.is("<")) {
+                ++angle;
+            } else if (t.is(">")) {
+                --angle;
+            } else if (angle <= 0) {
+                if (t.is("(")) {
+                    skip = true;
+                    break;
+                }
+                if (t.is(";") || t.is("=") || t.is("{"))
+                    declEnd = q;
+            }
+        }
+        if (skip || declEnd < k + 3)
+            continue;
+        const Token &nameTok = toks[declEnd - 1];
+        if (!nameTok.ident() ||
+            staticDeclStoppers.count(nameTok.text) != 0)
+            continue;
+
+        std::string scope;
+        for (const FnDef &fn : f.fns)
+            if (k > fn.bodyBegin && k < fn.bodyEnd) {
+                scope = fnKey(fn);
+                break;
+            }
+        if (scope.empty()) {
+            std::size_t best = 0;
+            for (const ClassDef &cd : f.classes)
+                if (k > cd.bodyBegin && k < cd.bodyEnd &&
+                    cd.bodyBegin >= best) {
+                    best = cd.bodyBegin;
+                    scope = cd.name;
+                }
+        }
+
+        const int line = toks[k].line;
+        EscapeEdge e;
+        e.rule = "shared-mutable-static";
+        e.scope = scope;
+        e.what = nameTok.text;
+        e.dest = "static storage";
+        e.file = f.rel;
+        e.line = line;
+        e.fingerprint =
+            "static/" + (scope.empty() ? std::string("ns") : scope) +
+            "/" + nameTok.text;
+        e.message =
+            "mutable static '" + nameTok.text + "'" +
+            (scope.empty() ? std::string()
+                           : " in " + scope) +
+            ": every shard shares this storage; annotate "
+            "`analyze: shared(reason)` if it is a deliberate "
+            "machine-wide singleton, or move it into per-node state";
+        e.allowed = f.allows(line, "shared-mutable-static") ||
+                    f.allows(line, "shared");
+        m.edges.push_back(std::move(e));
+    }
+}
+
+/** Does [lo, hi) produce an address of node-owned state? Returns the
+ *  escaping state's name ("" when clean) and its owning class. */
+std::string
+escapingExpr(const Project &p, const SourceFile &f, const NameEnv &env,
+             bool selfOwned, const std::string &selfClass,
+             std::size_t lo, std::size_t hi, std::string &ownerClass)
+{
+    const Tokens &toks = f.toks;
+    const OwnershipMap &m = p.ownership;
+    for (std::size_t q = lo; q < hi && q < toks.size(); ++q) {
+        const Token &t = toks[q];
+        if (t.is("&") && q + 1 < hi && toks[q + 1].ident()) {
+            // Address-of position only: `a & b` has an identifier (or
+            // a closing bracket) on the left, an address-of does not.
+            const bool addrPos =
+                q == lo || toks[q - 1].is("=") || toks[q - 1].is("(") ||
+                toks[q - 1].is(",") || toks[q - 1].is("{") ||
+                (toks[q - 1].ident() && toks[q - 1].text == "return");
+            if (!addrPos)
+                continue;
+            const std::string &name = toks[q + 1].text;
+            bool isField = false;
+            const std::string rt = env.typeOf(name, isField);
+            if (isField && selfOwned) {
+                ownerClass = selfClass;
+                return selfClass + "::" + name;
+            }
+            if (!rt.empty()) {
+                const std::string cls = typeClassName(p.types, rt);
+                if (!cls.empty() && !isCarrier(cls) &&
+                    m.nodeOwned(cls)) {
+                    ownerClass = cls;
+                    return name;
+                }
+            }
+            continue;
+        }
+        if (!t.ident())
+            continue;
+        if (t.text == "this" && selfOwned &&
+            (q == lo || (!toks[q - 1].is(".") && !toks[q - 1].is("->") &&
+                         !toks[q - 1].is("::")))) {
+            ownerClass = selfClass;
+            return "this";
+        }
+        // A pointer-valued name whose pointee is node-owned escapes
+        // when it flows as a value.
+        if (q > lo && (toks[q - 1].is(".") || toks[q - 1].is("->") ||
+                       toks[q - 1].is("::")))
+            continue;
+        bool isField = false;
+        const std::string rt = env.typeOf(t.text, isField);
+        if (rt.empty() || trimmed(rt).back() != '*')
+            continue;
+        const std::string cls = typeClassName(p.types, rt);
+        if (!cls.empty() && !isCarrier(cls) && m.nodeOwned(cls)) {
+            ownerClass = cls;
+            return t.text;
+        }
+    }
+    return "";
+}
+
+/** Root identifier of the receiver chain of a member call whose
+ *  callee identifier sits at `nameIdx` ("other.buf.fill(" -> "other").
+ *  Walks the `.`/`->` hops backwards the same way resolveReceiver
+ *  does; "" when the chain starts with a call, subscript or `this`. */
+std::string
+receiverRoot(const Tokens &toks, std::size_t nameIdx)
+{
+    if (nameIdx < 1 ||
+        !(toks[nameIdx - 1].is(".") || toks[nameIdx - 1].is("->")))
+        return "";
+    std::string root;
+    std::size_t k = nameIdx - 1; // the `.`/`->` before the callee
+    while (k > 0) {
+        std::size_t end = k; // one past the current segment
+        if (toks[end - 1].is(")")) {
+            int depth = 0;
+            std::size_t q = end;
+            while (q-- > 0) {
+                if (toks[q].is(")"))
+                    ++depth;
+                else if (toks[q].is("(") && --depth == 0)
+                    break;
+            }
+            if (q == 0 || !toks[q - 1].ident())
+                return "";
+            root = toks[q - 1].text;
+            end = q - 1;
+        } else if (toks[end - 1].ident()) {
+            root = toks[end - 1].text;
+            end = end - 1;
+        } else {
+            return "";
+        }
+        if (end >= 1 &&
+            (toks[end - 1].is(".") || toks[end - 1].is("->"))) {
+            k = end - 1;
+            continue;
+        }
+        if (end >= 1 && (toks[end - 1].is("]") || toks[end - 1].is(")")))
+            return "";
+        break;
+    }
+    return root;
+}
+
+/** Detector: node-owned addresses stored into carriers, stored into
+ *  foreign node-owned objects reached via ref/pointer parameters, or
+ *  passed into such an object's methods. */
+void
+detectCrossNode(const Project &p, const SourceFile &f, const FnDef &fn,
+                OwnershipMap &m)
+{
+    const Tokens &toks = f.toks;
+    const NameEnv env(p, fn);
+    const bool selfOwned =
+        !fn.className.empty() && m.nodeOwned(fn.className);
+
+    auto isForeignParamRoot = [&](const std::string &root) {
+        for (const Param &pr : fn.params)
+            if (pr.name == root)
+                return isRefOrPtr(pr.type) &&
+                       m.nodeOwned(typeClassName(p.types, pr.type));
+        return false;
+    };
+
+    auto addEdge = [&](const std::string &what,
+                       const std::string &ownerClass,
+                       const std::string &dest,
+                       const std::string &fingerprint, int line,
+                       const std::string &message) {
+        EscapeEdge e;
+        e.rule = "cross-node-escape";
+        e.scope = fnKey(fn);
+        e.what = what;
+        e.dest = dest;
+        e.file = f.rel;
+        e.line = line;
+        e.fingerprint = fingerprint;
+        e.message = message;
+        const bool allowed = f.allows(line, "cross-node-escape");
+        e.allowed = allowed;
+        m.edges.push_back(std::move(e));
+        if (!allowed && !ownerClass.empty()) {
+            auto it = m.classes.find(ownerClass);
+            if (it != m.classes.end() &&
+                it->second.verdict == Own::NodeOwned) {
+                it->second.verdict = Own::Escapes;
+                it->second.why = "escape at " + f.rel + ":" +
+                                 std::to_string(line) + " (" +
+                                 fingerprint + ")";
+            }
+        }
+    };
+
+    // Member stores: `recv.field = <expr taking a node-owned address>`.
+    std::size_t stmt = fn.bodyBegin + 1;
+    int paren = 0;
+    for (std::size_t k = fn.bodyBegin + 1; k < fn.bodyEnd; ++k) {
+        const Token &t = toks[k];
+        if (t.is("(") || t.is("["))
+            ++paren;
+        else if (t.is(")") || t.is("]"))
+            --paren;
+        else if ((t.is(";") && paren == 0) || t.is("{") || t.is("}")) {
+            int d = 0;
+            std::size_t eq = 0;
+            for (std::size_t q = stmt; q < k; ++q) {
+                if (toks[q].is("(") || toks[q].is("[") ||
+                    toks[q].is("<"))
+                    ++d;
+                else if (toks[q].is(")") || toks[q].is("]") ||
+                         toks[q].is(">"))
+                    --d;
+                else if (toks[q].is("=") && d <= 0) {
+                    eq = q;
+                    break;
+                }
+            }
+            if (eq > stmt + 2 && toks[eq - 1].ident() &&
+                (toks[eq - 2].is(".") || toks[eq - 2].is("->")) &&
+                toks[stmt].ident()) {
+                const std::string field = toks[eq - 1].text;
+                const std::string recvClass =
+                    resolveReceiver(p, f, fn, eq - 2);
+                const std::string root = toks[stmt].text;
+                std::string ownerClass;
+                const std::string what =
+                    escapingExpr(p, f, env, selfOwned, fn.className,
+                                 eq + 1, k, ownerClass);
+                if (!what.empty() && isCarrier(recvClass)) {
+                    addEdge(what, ownerClass,
+                            recvClass + "::" + field,
+                            "carrier/" + fnKey(fn) + "/" + field,
+                            toks[stmt].line,
+                            "address of node-owned state '" + what +
+                                "' stored into carrier field " +
+                                recvClass + "::" + field + " in " +
+                                fnKey(fn) +
+                                ": the pointer crosses the node "
+                                "boundary with the message");
+                } else if (!what.empty() && !recvClass.empty() &&
+                           m.nodeOwned(recvClass) &&
+                           isForeignParamRoot(root)) {
+                    addEdge(what, ownerClass,
+                            root + "." + field + " (" + recvClass + ")",
+                            "store/" + fnKey(fn) + "/" + root + "." +
+                                field,
+                            toks[stmt].line,
+                            "address of node-owned state '" + what +
+                                "' stored into foreign " + recvClass +
+                                " '" + root + "' in " + fnKey(fn) +
+                                ": two nodes now alias one shard's "
+                                "state");
+                }
+            }
+            stmt = k + 1;
+            paren = 0;
+        }
+    }
+
+    // Call arguments: `other.method(&ownedState)` where `other` is a
+    // foreign node-owned object (or a carrier being populated).
+    for (const CallSite &cs : callSites(p, f, fn)) {
+        if (cs.recvChain.empty() || cs.resolvedClass.empty())
+            continue;
+        const std::string root = receiverRoot(toks, cs.nameIdx);
+        const bool foreign = isCarrier(cs.resolvedClass) ||
+                             (m.nodeOwned(cs.resolvedClass) &&
+                              !root.empty() && isForeignParamRoot(root));
+        if (!foreign)
+            continue;
+        for (const auto &[alo, ahi] :
+             splitArgs(toks, cs.argsBegin, cs.argsEnd)) {
+            std::string ownerClass;
+            const std::string what =
+                escapingExpr(p, f, env, selfOwned, fn.className, alo,
+                             ahi, ownerClass);
+            if (what.empty())
+                continue;
+            addEdge(what, ownerClass,
+                    cs.resolvedClass + "::" + cs.callee,
+                    "arg/" + fnKey(fn) + "/" + cs.callee, cs.line,
+                    "address of node-owned state '" + what +
+                        "' passed to " + cs.resolvedClass +
+                        "::" + cs.callee + " on foreign receiver '" +
+                        (root.empty() ? cs.recvChain : root) + "' in " +
+                        fnKey(fn));
+            break;
+        }
+    }
+}
+
+/** Detector: node-owned state captured by reference (or `this`) into
+ *  a lambda that reaches an event-scheduling sink. */
+void
+detectCaptures(const Project &p, const SourceFile &f, const FnDef &fn,
+               OwnershipMap &m)
+{
+    const Tokens &toks = f.toks;
+    const NameEnv env(p, fn);
+    const bool selfOwned =
+        !fn.className.empty() && m.nodeOwned(fn.className);
+
+    for (const CallSite &cs : callSites(p, f, fn)) {
+        const bool namedSink = isScheduleSink(cs.callee);
+        const FnSummary *s = nullptr;
+        if (!cs.key.empty()) {
+            auto it = p.summaries.find(cs.key);
+            if (it != p.summaries.end())
+                s = &it->second;
+        }
+        if (!namedSink && s == nullptr)
+            continue;
+        const auto args = splitArgs(toks, cs.argsBegin, cs.argsEnd);
+        for (std::size_t a = 0; a < args.size(); ++a) {
+            if (!namedSink &&
+                !(s != nullptr && s->paramToSink.count(int(a)) != 0))
+                continue;
+            for (std::size_t q = args[a].first;
+                 q < args[a].second && q < toks.size(); ++q) {
+                if (!toks[q].is("["))
+                    continue;
+                const std::size_t close = skipBalanced(toks, q);
+                if (close >= toks.size() ||
+                    (!toks[close].is("(") && !toks[close].is("{")))
+                    continue; // subscript, not a lambda introducer
+
+                bool capThis = false;
+                bool refDefault = false;
+                std::vector<std::string> refNames;
+                for (std::size_t c = q + 1; c + 1 < close; ++c) {
+                    if (toks[c].is("&")) {
+                        if (toks[c + 1].ident())
+                            refNames.push_back(toks[c + 1].text);
+                        else
+                            refDefault = true;
+                    } else if (toks[c].ident() &&
+                               toks[c].text == "this") {
+                        capThis = true;
+                    }
+                }
+
+                std::string what;
+                std::string ownerClass;
+                if (capThis && selfOwned) {
+                    what = "this";
+                    ownerClass = fn.className;
+                } else if (refDefault && selfOwned) {
+                    what = "[&] default capture";
+                    ownerClass = fn.className;
+                } else {
+                    for (const std::string &name : refNames) {
+                        bool isField = false;
+                        const std::string rt = env.typeOf(name, isField);
+                        if (isField && selfOwned) {
+                            what = fn.className + "::" + name;
+                            ownerClass = fn.className;
+                            break;
+                        }
+                        const std::string cls =
+                            rt.empty() ? ""
+                                       : typeClassName(p.types, rt);
+                        if (!cls.empty() && m.nodeOwned(cls)) {
+                            what = name;
+                            ownerClass = cls;
+                            break;
+                        }
+                    }
+                }
+                if (what.empty())
+                    continue;
+
+                EscapeEdge e;
+                e.rule = "event-capture-escape";
+                e.scope = fnKey(fn);
+                e.what = what;
+                e.dest = cs.callee;
+                e.file = f.rel;
+                e.line = cs.line;
+                e.fingerprint =
+                    "capture/" + fnKey(fn) + "/" + cs.callee;
+                e.message =
+                    "node-owned state '" + what +
+                    "' captured by reference into a callable "
+                    "scheduled via '" +
+                    cs.callee + "' in " + fnKey(fn) +
+                    ": another shard could run the event against "
+                    "this node's state";
+                e.allowed = f.allows(cs.line, "event-capture-escape");
+                m.edges.push_back(e);
+                if (!e.allowed && !ownerClass.empty()) {
+                    auto it = m.classes.find(ownerClass);
+                    if (it != m.classes.end() &&
+                        it->second.verdict == Own::NodeOwned) {
+                        it->second.verdict = Own::Escapes;
+                        it->second.why =
+                            "escape at " + f.rel + ":" +
+                            std::to_string(cs.line) + " (" +
+                            e.fingerprint + ")";
+                    }
+                }
+            }
+        }
+    }
+}
+
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+void
+buildOwnership(Project &p)
+{
+    OwnershipMap &m = p.ownership;
+    m.classes.clear();
+    m.edges.clear();
+
+    collectClasses(p, m);
+    classifyClasses(p, m);
+
+    for (const SourceFile &f : p.files) {
+        if (!inOwnershipScope(f.dir))
+            continue;
+        detectStatics(f, m);
+        for (const FnDef &fn : f.fns) {
+            detectCrossNode(p, f, fn, m);
+            detectCaptures(p, f, fn, m);
+        }
+    }
+}
+
+std::string
+ownershipJson(const Project &p)
+{
+    const OwnershipMap &m = p.ownership;
+    std::map<std::string, int> counts;
+    for (const auto &[name, cv] : m.classes)
+        ++counts[ownName(cv.verdict)];
+
+    std::ostringstream o;
+    o << "{\n"
+      << "  \"tool\": \"shrimp_analyze\",\n"
+      << "  \"report\": \"shard-ownership\",\n"
+      << "  \"root\": \"Node\",\n"
+      << "  \"summary\": {";
+    bool first = true;
+    for (const auto &[verdict, n] : counts) {
+        o << (first ? " " : ", ") << jsonStr(verdict) << ": " << n;
+        first = false;
+    }
+    o << " },\n"
+      << "  \"classes\": [\n";
+    std::size_t i = 0;
+    for (const auto &[name, cv] : m.classes) {
+        o << "    { \"name\": " << jsonStr(name) << ", \"verdict\": "
+          << jsonStr(ownName(cv.verdict)) << ", \"why\": "
+          << jsonStr(cv.why) << ", \"file\": " << jsonStr(cv.file)
+          << ", \"line\": " << cv.line
+          << ", \"carrier\": " << (cv.carrier ? "true" : "false")
+          << ", \"annotated\": "
+          << jsonStr(cv.annotatedOwned
+                         ? "owned"
+                         : (cv.annotatedShared ? "shared" : ""))
+          << " }" << (++i < m.classes.size() ? "," : "") << "\n";
+    }
+    o << "  ],\n"
+      << "  \"escapes\": [\n";
+    for (std::size_t e = 0; e < m.edges.size(); ++e) {
+        const EscapeEdge &ed = m.edges[e];
+        o << "    { \"rule\": " << jsonStr(ed.rule) << ", \"scope\": "
+          << jsonStr(ed.scope) << ", \"what\": " << jsonStr(ed.what)
+          << ", \"dest\": " << jsonStr(ed.dest) << ", \"file\": "
+          << jsonStr(ed.file) << ", \"line\": " << ed.line
+          << ", \"allowed\": " << (ed.allowed ? "true" : "false")
+          << ", \"fingerprint\": " << jsonStr(ed.fingerprint) << " }"
+          << (e + 1 < m.edges.size() ? "," : "") << "\n";
+    }
+    o << "  ]\n"
+      << "}\n";
+    return o.str();
+}
+
+} // namespace shrimp::analyze

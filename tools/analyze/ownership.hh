@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Whole-program ownership & escape analysis for shrimp_analyze.
+ *
+ * buildOwnership() classifies every class defined under the layered
+ * src/ directories on the lattice in model.hh (Own):
+ *
+ *  1. Seeds: every class named "Node" plus every class carrying a
+ *     SHRIMP_SHARD_OWNED marker is NodeOwned.
+ *  2. Value containment BFS: a field held by value (including through
+ *     owning wrappers — vector/unique_ptr/optional/map/... — and
+ *     project-class templates like Channel<T>) of a NodeOwned class is
+ *     NodeOwned. Value containment takes precedence over reference
+ *     reachability, so an intra-node back-reference (ShrimpNic's
+ *     `Memory &mem_`) does not demote the referee.
+ *  3. Reference closure: classes reached from classified classes only
+ *     through `const&`/`const*` fields become SharedRO; through
+ *     mutable refs/pointers, SharedMutable. SHRIMP_SHARD_SHARED
+ *     annotations force SharedMutable with the author's reason.
+ *  4. Carriers: message types that cross nodes *by value* (net::Packet
+ *     and friends) are flagged; a pointer stored into one is an escape
+ *     even though the carrier itself is cheap to copy.
+ *  5. Escape pass: three detectors walk every function body using the
+ *     call graph + summaries —
+ *       shared-mutable-static   namespace/class/function-scope mutable
+ *                               `static` data in layered src dirs
+ *       cross-node-escape       address of node-owned state stored
+ *                               into a carrier field, into a foreign
+ *                               node-owned object reached via a
+ *                               ref/pointer parameter, or passed to a
+ *                               method of such an object
+ *       event-capture-escape    node-owned state captured by reference
+ *                               (or `this`) into a lambda handed to an
+ *                               event-scheduling sink
+ *     Edges allowlisted by `analyze: shared(...)` / `analyze:
+ *     allow(rule)` annotations are kept in the report with
+ *     allowed=true but produce no finding.
+ *  6. Verdict upgrade: a NodeOwned class with a non-allowed escape
+ *     edge becomes Escapes.
+ *
+ * The JSON report (ownershipJson) is the shard-partition plan ROADMAP
+ * item 2 consumes: per-class verdicts with provenance and the full
+ * escape-edge table.
+ */
+
+#ifndef SHRIMP_TOOLS_ANALYZE_OWNERSHIP_HH
+#define SHRIMP_TOOLS_ANALYZE_OWNERSHIP_HH
+
+#include "model.hh"
+
+namespace shrimp::analyze
+{
+
+/** Compute Project::ownership. Requires parsed files, extractTypes(),
+ *  buildTypeIndex() and buildSummaries() to have run. */
+void buildOwnership(Project &p);
+
+/** Machine-readable report for --ownership-report=FILE. */
+std::string ownershipJson(const Project &p);
+
+/** Is @p dir one of the layered src directories the ownership pass
+ *  scans (base/check/sim/mem/net/nic/node/vmmc/nx/rpc/sock/srpc)? */
+bool inOwnershipScope(const std::string &dir);
+
+} // namespace shrimp::analyze
+
+#endif // SHRIMP_TOOLS_ANALYZE_OWNERSHIP_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * shared-mutable-static / cross-node-escape / event-capture-escape:
+ * thin rule emitters over the escape edges buildOwnership() computed.
+ * Detection lives in ownership.cc so the --ownership-report JSON and
+ * the findings are one artifact viewed two ways; annotation-suppressed
+ * (allowed) edges stay in the report but never become findings.
+ */
+
+#include "ownership.hh"
+#include "rules.hh"
+
+namespace shrimp::analyze
+{
+
+namespace
+{
+
+void
+emitEdges(const Project &p, const std::string &rule,
+          std::vector<Finding> &out)
+{
+    for (const EscapeEdge &e : p.ownership.edges) {
+        if (e.rule != rule || e.allowed)
+            continue;
+        out.push_back({e.rule, e.file, e.line, e.fingerprint,
+                       e.message});
+    }
+}
+
+} // namespace
+
+void
+ruleSharedMutableStatic(const Project &p, std::vector<Finding> &out)
+{
+    emitEdges(p, "shared-mutable-static", out);
+}
+
+void
+ruleCrossNodeEscape(const Project &p, std::vector<Finding> &out)
+{
+    emitEdges(p, "cross-node-escape", out);
+}
+
+void
+ruleEventCaptureEscape(const Project &p, std::vector<Finding> &out)
+{
+    emitEdges(p, "event-capture-escape", out);
+}
+
+} // namespace shrimp::analyze

@@ -1,6 +1,6 @@
 /**
  * @file
- * The seven shrimp_analyze rules. Each pass receives the fully parsed
+ * The ten shrimp_analyze rules. Each pass receives the fully parsed
  * and summarized Project and appends Findings; suppression
  * (annotations aside) is the baseline's job, not the rules'.
  *
@@ -39,6 +39,20 @@
  *                            into event scheduling — schedule(),
  *                            scheduleIn/At(), Delay{...} or a
  *                            parameter that provably reaches one.
+ *   shared-mutable-static    namespace/class/function-scope mutable
+ *                            `static` data in the layered src dirs:
+ *                            storage every future shard would share.
+ *                            Deliberate singletons are allowlisted
+ *                            with `analyze: shared(reason)`.
+ *   cross-node-escape        the address of node-owned state stored
+ *                            into a carrier (net::Packet) field,
+ *                            into a foreign node-owned object reached
+ *                            through a ref/pointer parameter, or
+ *                            passed to such an object's methods.
+ *   event-capture-escape     node-owned state captured by reference
+ *                            (or `this`) into a lambda handed to an
+ *                            event-scheduling sink — an event another
+ *                            shard could run.
  */
 
 #ifndef SHRIMP_TOOLS_ANALYZE_RULES_HH
@@ -56,6 +70,9 @@ void ruleLayering(const Project &p, std::vector<Finding> &out);
 void ruleChargedTime(const Project &p, std::vector<Finding> &out);
 void ruleDeadlock(const Project &p, std::vector<Finding> &out);
 void ruleTaint(const Project &p, std::vector<Finding> &out);
+void ruleSharedMutableStatic(const Project &p, std::vector<Finding> &out);
+void ruleCrossNodeEscape(const Project &p, std::vector<Finding> &out);
+void ruleEventCaptureEscape(const Project &p, std::vector<Finding> &out);
 
 } // namespace shrimp::analyze
 

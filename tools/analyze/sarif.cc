@@ -65,6 +65,15 @@ const std::map<std::string, std::string> ruleDescs = {
      "callee-held lock is outstanding"},
     {"determinism-taint",
      "host-nondeterministic value flowing into event scheduling"},
+    {"shared-mutable-static",
+     "namespace/class-scope mutable static without an `analyze: "
+     "shared(reason)` allowlist — storage every shard would share"},
+    {"cross-node-escape",
+     "address of node-owned state stored into a carrier field or a "
+     "foreign node's object"},
+    {"event-capture-escape",
+     "node-owned state captured by reference into a scheduled "
+     "callable another shard could run"},
 };
 
 } // namespace
