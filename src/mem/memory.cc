@@ -11,7 +11,7 @@ namespace shrimp::mem
 
 Memory::Memory(sim::EventQueue &queue, std::size_t bytes,
                std::size_t page_bytes, std::string name)
-    : queue_(queue), data_(bytes, 0), pageBytes_(page_bytes),
+    : queue_(queue), data_(bytes), pageBytes_(page_bytes),
       name_(std::move(name)), writeWaiters_(queue)
 {
     if (page_bytes == 0 || bytes % page_bytes != 0)
@@ -43,6 +43,7 @@ Memory::write(PAddr addr, const void *src, std::size_t n)
         this, addr, n, queue_.now()));
     if (n > 0)
         std::memcpy(data_.data() + addr, src, n);
+    data_.noteDirty(std::size_t(addr) + n);
     ++writeCount_;
     notifyWrite(addr, n);
 }

@@ -15,10 +15,10 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
-#include <vector>
 
 #include "base/ownership.hh"
 #include "base/types.hh"
+#include "mem/zero_region.hh"
 #include "sim/sync.hh"
 #include "sim/task.hh"
 
@@ -100,7 +100,7 @@ class Memory
     }
 
     sim::EventQueue &queue_;
-    std::vector<std::uint8_t> data_;
+    ZeroRegion data_;
     std::size_t pageBytes_;
     std::string name_;
     sim::AddrCondition writeWaiters_;
@@ -132,6 +132,7 @@ Memory::write32(PAddr addr, std::uint32_t value)
     if (std::size_t(addr) + sizeof(value) > data_.size()) [[unlikely]]
         checkRange(addr, sizeof(value));
     std::memcpy(data_.data() + addr, &value, sizeof(value));
+    data_.noteDirty(std::size_t(addr) + sizeof(value));
     ++writeCount_;
     notifyWrite(addr, sizeof(value));
 }

@@ -1,0 +1,115 @@
+#include "mem/zero_region.hh"
+
+#include <cstring>
+#include <new>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define SHRIMP_ZERO_REGION_MMAP 1
+#endif
+
+#include "base/logging.hh"
+
+namespace shrimp::mem
+{
+
+namespace
+{
+
+/** One parked region: already re-zeroed, ready to hand out. */
+struct ParkedRegion
+{
+    std::uint8_t *ptr;
+    std::size_t size;
+    bool mapped;
+};
+
+// Process-wide recycling pool (single-threaded, like the simulator).
+// Bounded so a one-off giant configuration doesn't pin memory forever;
+// eviction is FIFO, so steady same-size churn always hits.
+constexpr std::size_t poolCapBytes = 256 * 1024 * 1024;
+std::vector<ParkedRegion> pool;
+std::size_t poolBytes = 0;
+
+void
+releaseBytes(std::uint8_t *ptr, std::size_t size, bool mapped)
+{
+#ifdef SHRIMP_ZERO_REGION_MMAP
+    if (mapped) {
+        ::munmap(ptr, size);
+        return;
+    }
+#endif
+    (void)mapped;
+    delete[] ptr;
+}
+
+} // namespace
+
+ZeroRegion::ZeroRegion(std::size_t bytes) : size_(bytes)
+{
+    if (bytes == 0)
+        return;
+    // Newest-first search: steady churn reuses the region just parked,
+    // whose pages are still warm in the page tables and caches.
+    for (std::size_t i = pool.size(); i > 0; --i) {
+        ParkedRegion &r = pool[i - 1];
+        if (r.size != bytes)
+            continue;
+        data_ = r.ptr;
+        mapped_ = r.mapped;
+        poolBytes -= r.size;
+        pool.erase(pool.begin() + long(i - 1));
+        return;
+    }
+#ifdef SHRIMP_ZERO_REGION_MMAP
+    void *p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+        data_ = static_cast<std::uint8_t *>(p);
+        mapped_ = true;
+        return;
+    }
+#endif
+    data_ = new std::uint8_t[bytes];
+    std::memset(data_, 0, bytes);
+}
+
+ZeroRegion::~ZeroRegion()
+{
+    if (!data_)
+        return;
+    // Park for reuse: re-zero the written prefix (bytes beyond it were
+    // never written and are still zero), evict oldest past the cap.
+    if (size_ <= poolCapBytes) {
+        std::memset(data_, 0, dirty_ < size_ ? dirty_ : size_);
+        while (poolBytes + size_ > poolCapBytes && !pool.empty()) {
+            ParkedRegion victim = pool.front();
+            pool.erase(pool.begin());
+            poolBytes -= victim.size;
+            releaseBytes(victim.ptr, victim.size, victim.mapped);
+        }
+        pool.push_back(ParkedRegion{data_, size_, mapped_});
+        poolBytes += size_;
+        return;
+    }
+    releaseBytes(data_, size_, mapped_);
+}
+
+std::size_t
+ZeroRegion::pooledBytes()
+{
+    return poolBytes;
+}
+
+void
+ZeroRegion::drainPool()
+{
+    for (const ParkedRegion &r : pool)
+        releaseBytes(r.ptr, r.size, r.mapped);
+    pool.clear();
+    poolBytes = 0;
+}
+
+} // namespace shrimp::mem

@@ -4,11 +4,31 @@
  * deadlock-free, oblivious wormhole routing (dimension-ordered XY) that
  * preserves the order of packets from each sender to each receiver.
  * Node i sits at (i % width, i / width).
+ *
+ * Two interchangeable routing engines drive packets (DESIGN.md §14):
+ *
+ *  - Serialized: one coroutine per packet co_awaits a full Bus
+ *    acquire/transfer/release handshake at every hop. This is the
+ *    original, obviously-correct path; it still carries every traced
+ *    run, so the golden trace hashes pin its behavior.
+ *  - Coalesced: a per-link occupancy ledger grants link windows with
+ *    plain arithmetic and one pooled event per hop — no coroutine
+ *    frames, no semaphore queues, no per-packet spawn bookkeeping. Its
+ *    event schedule mirrors the serialized path event-for-event
+ *    (identical ticks, identical same-tick ordering), so simulated
+ *    results are bit-identical; tests/test_net.cc asserts equality on
+ *    all-pairs and contention patterns.
+ *
+ * Engine::Auto (the default) picks Coalesced exactly when tracing is
+ * off: traced runs keep the serialized path whose per-hop bus spans the
+ * golden hashes cover. The engine is sticky while packets are in
+ * flight so both never drive one link at once.
  */
 
 #ifndef SHRIMP_NET_MESH_HH
 #define SHRIMP_NET_MESH_HH
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -30,6 +50,14 @@ class Mesh
         "synchronize at its link boundaries");
 
   public:
+    /** Routing-engine selection; see the file comment. */
+    enum class Engine
+    {
+        Auto,       //!< Coalesced when tracing is off, else Serialized
+        Serialized, //!< always the per-packet coroutine path
+        Coalesced,  //!< always the link-ledger path (tests, benches)
+    };
+
     Mesh(sim::Simulator &sim, const MachineConfig &cfg);
     ~Mesh();
 
@@ -58,19 +86,83 @@ class Mesh
      */
     void inject(Packet pkt);
 
+    /** Select the routing engine. Takes effect at the next inject with
+     *  no packets in flight (both engines never share a link). */
+    void setEngine(Engine e) { engine_ = e; }
+    Engine engine() const { return engine_; }
+
     Router &router(NodeId n) { return *routers_.at(n); }
 
     std::uint64_t packetsDelivered() const { return delivered_; }
 
+    /** Packets injected but not yet ejected (tests). */
+    std::uint64_t packetsInFlight() const { return inflight_; }
+
   private:
+    /**
+     * Per-packet state of the coalesced engine, free-listed so steady
+     * traffic allocates nothing. Scheduled hop events capture one
+     * Flight pointer; the Flight owns the packet until ejection.
+     */
+    struct Flight
+    {
+        Packet pkt;
+        NodeId cur = 0;     //!< router the packet is at / leaving
+        Tick occ = 0;       //!< per-hop link occupancy (uniform links)
+        int link = -1;      //!< directed-link index while on a link
+        Flight *qnext = nullptr; //!< link waiter FIFO / free list
+    };
+
+    /**
+     * One directed link's occupancy ledger: a busy bit plus a FIFO of
+     * waiting flights — the coalesced engine's stand-in for the Bus
+     * semaphore, granted in the same order at the same ticks.
+     */
+    struct LinkLedger
+    {
+        Flight *head = nullptr;
+        Flight *tail = nullptr;
+        bool busy = false;
+    };
+
     sim::Task<> routeTask(Packet pkt);
+
+    // Coalesced engine (mesh.cc): start/finish one hop, hand the link
+    // to the next waiter, eject at the destination.
+    void startHop(Flight *f);
+    void hopDone(Flight *f);
+    void grantLink(Flight *f);
+    void ejectFlight(Flight *f);
+
+    Flight *allocFlight();
+    void freeFlight(Flight *f);
+
+    int linkIndex(NodeId at, Dir d) const { return int(at) * numDirs + int(d); }
 
     sim::Simulator &sim_;
     int width_;
     int height_;
+    Tick hopLatency_;
+    std::uint64_t linkBps_;
     std::vector<std::unique_ptr<Router>> routers_;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t delivered_ = 0;
+    std::uint64_t inflight_ = 0;
+    Engine engine_ = Engine::Auto;
+    bool coalescedActive_ = false;
+
+    // Precomputed XY route tables (built once in the ctor): next
+    // direction and hop count per (at, dst) pair, neighbor per
+    // (node, dir). 0xFF / -1 mark "at == dst" / mesh edges.
+    std::vector<std::uint8_t> nextDirTbl_;
+    std::vector<std::uint16_t> hopsTbl_;
+    std::vector<std::int32_t> neighborTbl_;
+
+    // Link ledgers and the flight pool (coalesced engine).
+    std::vector<LinkLedger> ledgers_;
+    std::vector<std::unique_ptr<Flight>> flights_;
+    Flight *freeFlights_ = nullptr;
+
     stats::Group stats_;
     std::vector<trace::TrackId> routerTracks_;
     // Per-packet path; stat lookups hoisted to construction.

@@ -1,5 +1,7 @@
 #include "net/router.hh"
 
+#include <cstdio>
+
 #include "base/logging.hh"
 #include "check/check.hh"
 
@@ -24,10 +26,13 @@ Router::connect(Dir d)
 {
     auto &link = links_[int(d)];
     if (!link) {
-        link = std::make_unique<sim::Bus>(
-            queue_, linkBw_,
-            "router" + std::to_string(id_) + ".link" +
-                std::to_string(int(d)));
+        // Fixed-size buffer: the "router%u.link%d" strings this ctor
+        // path used to build with operator+ churned four temporary
+        // heap strings per link, once per link per simulated machine.
+        char name[32];
+        std::snprintf(name, sizeof(name), "router%u.link%d",
+                      unsigned(id_), int(d));
+        link = std::make_unique<sim::Bus>(queue_, linkBw_, name);
         link->setProfileSubsys(sim::profile::Subsys::Router);
     }
 }

@@ -55,6 +55,18 @@ class Router
      */
     sim::Task<> forward(const Packet &pkt, Dir d);
 
+    /**
+     * The Bus modelling the outgoing link @p d, or nullptr when
+     * unconnected. The mesh's coalesced engine charges occupancy on it
+     * directly (Bus::recordExternalTransfer) instead of running
+     * forward(); stats and checker identity stay per-link either way.
+     */
+    sim::Bus *linkBus(Dir d) { return links_[int(d)].get(); }
+
+    /** Count one forwarded packet (the coalesced engine's counterpart
+     *  of the increment inside forward()). */
+    void noteForwarded() { ++forwarded_; }
+
     /** Deliver @p pkt to the node attached to this router. */
     void eject(Packet pkt) { ejectQueue_.send(std::move(pkt)); }
 

@@ -52,6 +52,16 @@ Process::debugPeek(VAddr addr, void *dst, std::size_t n) const
 std::uint32_t
 Process::peek32(VAddr addr) const
 {
+#ifndef SHRIMP_CHECK
+    // Word fast path: flag and ring polls are the hottest reads in the
+    // system (NX descriptor scans, credit drains), and an aligned word
+    // never crosses a page, so one page translation plus the inline
+    // word read replaces the generic range-translate + memcpy dispatch.
+    // Checked builds keep the generic path below so the race detector
+    // sees every access.
+    if (addr % sizeof(std::uint32_t) == 0)
+        return node_.memory().read32(as_.translate(addr));
+#endif
     std::uint32_t v;
     peek(addr, &v, sizeof(v));
     return v;
@@ -66,7 +76,9 @@ Process::poke32(VAddr addr, std::uint32_t v)
 sim::Task<>
 Process::compute(Tick t)
 {
-    co_await node_.cpu().use(t);
+    // Forward the task directly (like waitWord32Eq/Ne): no wrapper
+    // coroutine frame for the single hottest cost-charge call.
+    return node_.cpu().use(t);
 }
 
 sim::Task<>

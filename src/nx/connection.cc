@@ -299,6 +299,12 @@ Connection::peekDesc(int i) const
     return d;
 }
 
+std::uint32_t
+Connection::peekStamp(int i) const
+{
+    return ep_.proc().peek32(descAddr(i));
+}
+
 sim::Task<>
 Connection::copyOut(int i, std::size_t size, VAddr dst,
                     std::size_t dst_len, std::size_t dst_off)

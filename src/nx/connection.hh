@@ -151,6 +151,10 @@ class Connection
     /** Local descriptor of buffer @p i (reads local memory, untimed). */
     NxDesc peekDesc(int i) const;
 
+    /** Just the stamp word of buffer @p i's descriptor: the empty test
+     *  the receive scans run on every slot, via the word-peek fast path. */
+    std::uint32_t peekStamp(int i) const;
+
     /** Virtual address of buffer @p i's payload end (descriptor start). */
     VAddr descAddr(int i) const;
     VAddr bufDataEnd(int i) const { return descAddr(i); }

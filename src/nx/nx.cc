@@ -38,7 +38,12 @@ NxProc::NxProc(vmmc::Endpoint &ep, int rank, NxSystem &system)
     : ep_(ep), rank_(rank), system_(system),
       nextWindowKey_(0x4E590000u + std::uint32_t(rank) * 0x1000u),
       stats_("nx.rank" + std::to_string(rank)),
-      track_(trace::track(stats_.name()))
+      track_(trace::track(stats_.name())),
+      statCsends_(stats_.counter("csends")),
+      statSentBytes_(stats_.counter("sentBytes")),
+      statCsendBytes_(stats_.distribution("csendBytes")),
+      statCrecvs_(stats_.counter("crecvs")),
+      statScouts_(stats_.counter("scouts"))
 {
     safePool_.push_back(ep_.proc().alloc(system.options().safeCopyBytes));
     scratch_ = ep_.proc().alloc(2 * system.options().pktDataBytes + 4096);
@@ -96,9 +101,9 @@ NxProc::csend(long type, VAddr buf, std::size_t len, int dest)
     // Message origin: stage the (maybe-)sampled id; the vmmc send or
     // the packetizer claims it when the data actually moves.
     span::stage(span::origin(track_, "nx.csend", proc.sim().now()));
-    stats_.counter("csends") += 1;
-    stats_.counter("sentBytes") += len;
-    stats_.distribution("csendBytes").sample(double(len));
+    statCsends_ += 1;
+    statSentBytes_ += len;
+    statCsendBytes_.sample(double(len));
     co_await proc.compute(proc.config().libCallCost + nxSendOverhead);
     co_await progress();
     if (dest == rank_)
@@ -168,7 +173,7 @@ NxProc::sendLarge(int dest, long type, VAddr buf, std::size_t len)
     Connection &c = conn(dest);
     node::Process &proc = ep_.proc();
     const NxOptions &opt = system_.options();
-    stats_.counter("scouts") += 1;
+    statScouts_ += 1;
     // Send the scout through the one-copy protocol.
     std::uint32_t stamp = c.takeStamp();
     {
@@ -245,9 +250,11 @@ NxProc::scanMatch(long typesel)
         Connection &c = conn(peer);
         std::optional<Match> best;
         for (int i = 0; i < system_.options().numBufs; ++i) {
-            NxDesc d = c.peekDesc(i);
-            if (d.stamp == 0)
+            // Stamp-first: most slots scan empty, so read one word
+            // before paying for the full descriptor.
+            if (c.peekStamp(i) == 0)
                 continue;
+            NxDesc d = c.peekDesc(i);
             bool is_scout = d.frag == nxScoutFrag;
             if (!is_scout && (d.frag >> 16) != 0)
                 continue; // later fragment; match only message heads
@@ -290,7 +297,7 @@ NxProc::consumeSmall(const Match &m, VAddr buf, std::size_t maxlen,
         int idx = -1;
         for (;;) {
             for (int i = 0; i < system_.options().numBufs; ++i) {
-                if (c.peekDesc(i).stamp == want) {
+                if (c.peekStamp(i) == want) {
                     idx = i;
                     break;
                 }
@@ -413,7 +420,7 @@ NxProc::crecv(long typesel, VAddr buf, std::size_t maxlen)
 {
     node::Process &proc = ep_.proc();
     trace::ScopedSpan span(proc.sim(), track_, "crecv");
-    stats_.counter("crecvs") += 1;
+    statCrecvs_ += 1;
     co_await proc.compute(proc.config().libCallCost);
     for (;;) {
         co_await progress();

@@ -260,6 +260,12 @@ class NxProc
 
     stats::Group stats_;
     trace::TrackId track_;
+    // Per-call path; stat lookups hoisted to construction.
+    stats::Counter &statCsends_;
+    stats::Counter &statSentBytes_;
+    stats::Distribution &statCsendBytes_;
+    stats::Counter &statCrecvs_;
+    stats::Counter &statScouts_;
 };
 
 /**

@@ -26,6 +26,18 @@ Bus::occupancy(std::size_t bytes, Tick setup) const
     return setup + units::transferTime(bytes, bps_);
 }
 
+void
+Bus::recordExternalTransfer(std::size_t bytes, Tick occupied)
+{
+    busyTime_ += occupied;
+    bytes_ += bytes;
+    ++transactions_;
+    statTransactions_ += 1;
+    statBytes_ += bytes;
+    statOccupancyNs_ += occupied;
+    statXferBytes_.sample(double(bytes));
+}
+
 Task<>
 Bus::transfer(std::size_t bytes, Tick setup)
 {

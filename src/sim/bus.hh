@@ -41,6 +41,15 @@ class Bus
     /** Time one transaction of @p bytes would occupy the bus. */
     Tick occupancy(std::size_t bytes, Tick setup = 0) const;
 
+    /**
+     * Account one transaction of @p bytes that occupied the bus for
+     * @p occupied ticks but was serialized externally (the mesh's link
+     * ledger charges occupancy without running transfer()'s coroutine).
+     * Keeps busyTime()/bytesMoved()/transactions() and the stats group
+     * identical to the equivalent transfer() calls.
+     */
+    void recordExternalTransfer(std::size_t bytes, Tick occupied);
+
     double bandwidth() const { return bw_; }
     Tick busyTime() const { return busyTime_; }
     std::uint64_t bytesMoved() const { return bytes_; }
