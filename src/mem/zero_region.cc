@@ -32,6 +32,12 @@ constexpr std::size_t poolCapBytes = 256 * 1024 * 1024;
 std::vector<ParkedRegion> pool;
 std::size_t poolBytes = 0;
 
+// Lifetime counters (never reset; drainPool keeps them so a stats dump
+// after teardown still reflects the run).
+std::size_t poolReuses = 0;
+std::size_t poolFresh = 0;
+std::size_t poolRezeroed = 0;
+
 void
 releaseBytes(std::uint8_t *ptr, std::size_t size, bool mapped)
 {
@@ -61,8 +67,10 @@ ZeroRegion::ZeroRegion(std::size_t bytes) : size_(bytes)
         mapped_ = r.mapped;
         poolBytes -= r.size;
         pool.erase(pool.begin() + long(i - 1));
+        ++poolReuses;
         return;
     }
+    ++poolFresh;
 #ifdef SHRIMP_ZERO_REGION_MMAP
     void *p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
@@ -83,7 +91,9 @@ ZeroRegion::~ZeroRegion()
     // Park for reuse: re-zero the written prefix (bytes beyond it were
     // never written and are still zero), evict oldest past the cap.
     if (size_ <= poolCapBytes) {
-        std::memset(data_, 0, dirty_ < size_ ? dirty_ : size_);
+        const std::size_t rezero = dirty_ < size_ ? dirty_ : size_;
+        std::memset(data_, 0, rezero);
+        poolRezeroed += rezero;
         while (poolBytes + size_ > poolCapBytes && !pool.empty()) {
             ParkedRegion victim = pool.front();
             pool.erase(pool.begin());
@@ -101,6 +111,24 @@ std::size_t
 ZeroRegion::pooledBytes()
 {
     return poolBytes;
+}
+
+std::size_t
+ZeroRegion::poolReuseCount()
+{
+    return poolReuses;
+}
+
+std::size_t
+ZeroRegion::poolFreshCount()
+{
+    return poolFresh;
+}
+
+std::size_t
+ZeroRegion::poolBytesRezeroed()
+{
+    return poolRezeroed;
 }
 
 void

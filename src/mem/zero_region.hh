@@ -60,6 +60,14 @@ class ZeroRegion
     /** Pooled mappings held for reuse (tests). */
     static std::size_t pooledBytes();
 
+    /** Process-lifetime pool counters (surfaced in Machine stats as
+     *  mem.zeropool.reuse / .fresh / .bytesRezeroed): constructions
+     *  served from the pool, constructions that allocated fresh
+     *  backing, and bytes re-zeroed when parking dirty regions. */
+    static std::size_t poolReuseCount();
+    static std::size_t poolFreshCount();
+    static std::size_t poolBytesRezeroed();
+
     /** Unmap every pooled region (tests; harmless mid-run). */
     static void drainPool();
 

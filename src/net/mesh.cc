@@ -10,6 +10,23 @@
 namespace shrimp::net
 {
 
+namespace
+{
+Mesh::Engine gDefaultEngine = Mesh::Engine::Auto;
+} // namespace
+
+void
+Mesh::setDefaultEngine(Engine e)
+{
+    gDefaultEngine = e;
+}
+
+Mesh::Engine
+Mesh::defaultEngine()
+{
+    return gDefaultEngine;
+}
+
 Mesh::Mesh(sim::Simulator &sim, const MachineConfig &cfg)
     : sim_(sim), width_(cfg.meshWidth), height_(cfg.meshHeight),
       hopLatency_(cfg.hopLatency),
@@ -109,6 +126,8 @@ Mesh::hops(NodeId a, NodeId b) const
     return hopsTbl_[std::size_t(a) * numNodes() + b];
 }
 
+// analyze: lookahead-entry(mesh, mesh-grant) — the single fabric
+// ingress; both engines charge a full hop before off-node visibility.
 void
 Mesh::inject(Packet pkt)
 {
@@ -137,7 +156,10 @@ Mesh::inject(Packet pkt)
     Flight *f = allocFlight();
     f->pkt = std::move(pkt);
     f->cur = f->pkt.src;
+    // analyze: lookahead-charge(mesh-grant) — per-hop occupancy: the
+    // grant event fires no earlier than hopLatency + wire time.
     f->occ = hopLatency_ + units::transferTime(f->pkt.wireBytes(), linkBps_);
+    // analyze: lookahead(self-delivery stays on-node: src == dst)
     if (f->cur == f->pkt.dst)
         ejectFlight(f);
     else
@@ -167,6 +189,9 @@ Mesh::routeTask(Packet pkt)
                sim_.queue().now());
     SHRIMP_CHECK_HOOK(check::SimChecker::instance().onMeshEject(
         this, cur, pkt.src, pkt.dst, pkt.seq));
+    // analyze: lookahead(zero-hop eject only when src == dst — a
+    // self-delivery that never leaves the node; every other path
+    // paid forward() above)
     routers_[cur]->eject(std::move(pkt));
     --inflight_;
 }

@@ -91,6 +91,12 @@ class Mesh
     void setEngine(Engine e) { engine_ = e; }
     Engine engine() const { return engine_; }
 
+    /** Process-wide engine default picked up by every subsequently
+     *  constructed Mesh (the bench harness's --mesh-engine flag sets
+     *  this before any Machine exists). Auto on process start. */
+    static void setDefaultEngine(Engine e);
+    static Engine defaultEngine();
+
     Router &router(NodeId n) { return *routers_.at(n); }
 
     std::uint64_t packetsDelivered() const { return delivered_; }
@@ -148,7 +154,7 @@ class Mesh
     std::uint64_t nextSeq_ = 0;
     std::uint64_t delivered_ = 0;
     std::uint64_t inflight_ = 0;
-    Engine engine_ = Engine::Auto;
+    Engine engine_ = defaultEngine();
     bool coalescedActive_ = false;
 
     // Precomputed XY route tables (built once in the ctor): next

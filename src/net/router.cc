@@ -49,6 +49,8 @@ Router::forward(const Packet &pkt, Dir d)
     auto &link = links_[int(d)];
     if (!link)
         panic("forward on unconnected mesh link");
+    // analyze: lookahead-charge(mesh) — every hop pays link occupancy
+    // of at least hopLatency before the packet advances.
     co_await link->transfer(pkt.wireBytes(), hopLatency_);
     // After the transfer: the link bus serializes packets, so completion
     // order is the order the link actually carried them.

@@ -68,6 +68,8 @@ class Router
     void noteForwarded() { ++forwarded_; }
 
     /** Deliver @p pkt to the node attached to this router. */
+    // analyze: lookahead-effect(deliver) — the packet becomes visible
+    // to the destination node's NIC here.
     void eject(Packet pkt) { ejectQueue_.send(std::move(pkt)); }
 
     /** The attached NIC drains this queue. */

@@ -5,6 +5,7 @@
 #include "base/config.hh"
 #include "check/check.hh"
 #include "check/race.hh"
+#include "mem/zero_region.hh"
 
 namespace shrimp::node
 {
@@ -41,6 +42,14 @@ Machine::dumpStats(std::ostream &os)
 {
     os << "mesh.packetsDelivered " << mesh_.packetsDelivered() << "\n";
     os << "ether.framesDelivered " << ether_.framesDelivered() << "\n";
+    // Mapping-pool effectiveness (process-wide): back-to-back machine
+    // lifetimes should reuse parked regions, not fault fresh pages.
+    os << "mem.zeropool.reuse " << mem::ZeroRegion::poolReuseCount()
+       << "\n";
+    os << "mem.zeropool.fresh " << mem::ZeroRegion::poolFreshCount()
+       << "\n";
+    os << "mem.zeropool.bytesRezeroed "
+       << mem::ZeroRegion::poolBytesRezeroed() << "\n";
     // Surface read-record drops in every stats dump: a nonzero value
     // means the race detector has a blind spot (raise raceReadRecCap).
     SHRIMP_CHECK_HOOK(os << "racecheck.readRecsDropped "

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Lookahead-prover fixtures: one seeded violation and one near-miss
+ * negative per rule (see test_analyze.cc for the expected findings).
+ *
+ *  - zero-lookahead-path, no-gate shape: edge class `fixlane` has an
+ *    entry but no lookahead-charge gate anywhere (Lane::push charges
+ *    time, but nothing *proves* it). `fixgood` is the near miss: same
+ *    shape plus a gate with a positive fold.
+ *  - zero-lookahead-path, zero-gate shape: `fixzero`'s gate folds to a
+ *    literal 0, collapsing the class bound.
+ *  - zero-lookahead-path, effect shape: Lane::shove makes a deliver
+ *    effect visible before charging; shoveCharged pays first.
+ *  - cross-node-wake-uncharged: Hub::route wakes a waiter it received
+ *    by reference with nothing charged yet; Hub::flush charges first,
+ *    and waking a *member* condition is never cross-node.
+ *  - zero-delay-cycle: Ticker::arm reschedules itself with a provably
+ *    zero delay; rearm uses a positive delay and Ticker::kick's
+ *    zero-delay target never cycles back.
+ */
+
+#include "sim/tasks.hh"
+
+namespace shrimpfix
+{
+
+class LaBus
+{
+  public:
+    Task<> transfer(int bytes, int latency);
+};
+
+class LaPort
+{
+  public:
+    void send(int v);
+};
+
+class LaCond
+{
+  public:
+    void notifyAll();
+};
+
+class LaQueue
+{
+  public:
+    void scheduleIn(int when, int thunk);
+};
+
+class Lane
+{
+  public:
+    Task<> push();
+    Task<> pull();
+    Task<> poke();
+    Task<> shove();
+    Task<> shoveCharged();
+
+  private:
+    LaBus bus_;
+    LaPort out_;
+};
+
+class Hub
+{
+  public:
+    Task<> route(LaCond &peer);
+    Task<> flush(LaCond &peer);
+
+  private:
+    LaBus bus_;
+    LaCond done_;
+};
+
+class Ticker
+{
+  public:
+    void arm();
+    void rearm();
+    void kick();
+    void fire();
+
+  private:
+    LaQueue queue_;
+};
+
+// analyze: lookahead-entry(fixlane) — seeded: the class never declares
+// a lookahead-charge gate, so no bound is proven.
+Task<>
+Lane::push()
+{
+    co_await bus_.transfer(64, 40);
+}
+
+// analyze: lookahead-entry(fixgood)
+Task<>
+Lane::pull()
+{
+    // analyze: lookahead-charge(fixgood) — near miss: positive fold.
+    co_await bus_.transfer(64, 40);
+}
+
+// analyze: lookahead-entry(fixzero)
+Task<>
+Lane::poke()
+{
+    // analyze: lookahead-charge(fixzero) — seeded: folds to 0 ns.
+    co_await bus_.transfer(64, 0);
+}
+
+// analyze: lookahead-entry(fixeffect)
+Task<>
+Lane::shove()
+{
+    // analyze: lookahead-effect(deliver) — seeded: visible at 0 charge.
+    out_.send(1);
+    // analyze: lookahead-charge(fixeffect)
+    co_await bus_.transfer(64, 40);
+}
+
+// analyze: lookahead-entry(fixeffect)
+Task<>
+Lane::shoveCharged()
+{
+    co_await bus_.transfer(64, 40);
+    // analyze: lookahead-effect(deliver) — negative: charged already.
+    out_.send(2);
+}
+
+// analyze: lookahead-entry(fixwake)
+Task<>
+Hub::route(LaCond &peer)
+{
+    peer.notifyAll(); // seeded: foreign waiter woken at 0 charge
+    done_.notifyAll(); // negative: member condition, never cross-node
+    // analyze: lookahead-charge(fixwake)
+    co_await bus_.transfer(64, 40);
+}
+
+// analyze: lookahead-entry(fixwake)
+Task<>
+Hub::flush(LaCond &peer)
+{
+    // analyze: lookahead-charge(fixwake)
+    co_await bus_.transfer(64, 40);
+    peer.notifyAll(); // negative: a full transfer is charged first
+}
+
+void
+Ticker::arm()
+{
+    queue_.scheduleIn(0, [this] { arm(); }); // seeded: zero-delay cycle
+}
+
+void
+Ticker::rearm()
+{
+    queue_.scheduleIn(50, [this] { rearm(); }); // negative: +50 ticks
+}
+
+void
+Ticker::kick()
+{
+    queue_.scheduleIn(0, [this] { fire(); }); // negative: no cycle back
+}
+
+void
+Ticker::fire()
+{
+}
+
+} // namespace shrimpfix

@@ -18,6 +18,7 @@
 
 #include "analyzer.hh"
 #include "baseline.hh"
+#include "lookahead.hh"
 #include "ownership.hh"
 #include "sarif.hh"
 
@@ -51,6 +52,7 @@ TEST(Analyze, FixtureCorpusYieldsExactlyTheSeededViolations)
     const std::multiset<std::string> want = {
         "charged-time|Engine::deliver",
         "cross-node-escape|arg/Peer::send/stash",
+        "cross-node-wake-uncharged|lookahead/wake/Hub::route/peer.notifyAll",
         "cross-node-escape|carrier/Peer::fill/window",
         "cross-node-escape|store/Peer::link/other.back_",
         "deadlock|order/Pair::a_->Pair::b_",
@@ -74,6 +76,10 @@ TEST(Analyze, FixtureCorpusYieldsExactlyTheSeededViolations)
         "layering|mem/backdoor.hh->net/wire.hh",
         "shared-mutable-static|static/global/reg",
         "suspend-under-exclusion|badCritical/gate_",
+        "zero-delay-cycle|lookahead/cycle/Ticker::arm/Ticker::arm",
+        "zero-lookahead-path|lookahead/effect/Lane::shove/Lane::shove",
+        "zero-lookahead-path|lookahead/no-gate/fixlane/Lane::push",
+        "zero-lookahead-path|lookahead/zero-gate/fixzero/Lane::poke",
     };
     EXPECT_EQ(keys(findings), want) << dump(findings);
 }
@@ -85,9 +91,11 @@ TEST(Analyze, FixtureCorpusCoversEveryRule)
     for (const Finding &f : findings)
         rules.insert(f.rule);
     const std::set<std::string> want = {
-        "charged-time", "cross-node-escape", "deadlock", "determinism",
-        "determinism-taint", "dropped-task", "event-capture-escape",
-        "layering", "shared-mutable-static", "suspend-under-exclusion",
+        "charged-time", "cross-node-escape", "cross-node-wake-uncharged",
+        "deadlock", "determinism", "determinism-taint", "dropped-task",
+        "event-capture-escape", "layering", "shared-mutable-static",
+        "suspend-under-exclusion", "zero-delay-cycle",
+        "zero-lookahead-path",
     };
     EXPECT_EQ(rules, want) << dump(findings);
 }
@@ -244,9 +252,11 @@ TEST(Analyze, JobsOneAndManyProduceIdenticalOutput)
     EXPECT_EQ(dump(many), dump(one));
     EXPECT_EQ(dump(hw), dump(one));
 
-    // The ownership report must be byte-identical too.
+    // The ownership and lookahead reports must be byte-identical too.
     EXPECT_EQ(ownershipJson(loadProject({SHRIMP_ANALYZE_FIXTURES}, "", 4)),
               ownershipJson(loadProject({SHRIMP_ANALYZE_FIXTURES}, "", 1)));
+    EXPECT_EQ(lookaheadJson(loadProject({SHRIMP_ANALYZE_FIXTURES}, "", 4)),
+              lookaheadJson(loadProject({SHRIMP_ANALYZE_FIXTURES}, "", 1)));
 }
 
 TEST(Analyze, BuildDirsAndDotDirsAreSkipped)
@@ -496,6 +506,117 @@ TEST(Analyze, SarifDriverDescribesTheOwnershipRules)
     EXPECT_EQ(ids.count("shared-mutable-static"), 1u);
     EXPECT_EQ(ids.count("cross-node-escape"), 1u);
     EXPECT_EQ(ids.count("event-capture-escape"), 1u);
+}
+
+TEST(Analyze, LookaheadMapProvesTheFixtureBounds)
+{
+    const Project p = loadProject(SHRIMP_ANALYZE_FIXTURES);
+    const auto &cls = p.lookahead.classes;
+
+    // fixgood: entry + gate folding transfer(64, 40) — proven 40 ns.
+    ASSERT_NE(cls.find("fixgood"), cls.end());
+    EXPECT_EQ(cls.at("fixgood").boundNs, 40);
+    EXPECT_TRUE(cls.at("fixgood").positive);
+
+    // fixlane: entry but no gate — nothing proven.
+    ASSERT_NE(cls.find("fixlane"), cls.end());
+    EXPECT_FALSE(cls.at("fixlane").positive);
+    EXPECT_TRUE(cls.at("fixlane").gates.empty());
+
+    // fixzero: the gate folds to a literal 0 and collapses the bound.
+    ASSERT_NE(cls.find("fixzero"), cls.end());
+    EXPECT_EQ(cls.at("fixzero").boundNs, 0);
+    EXPECT_FALSE(cls.at("fixzero").positive);
+
+    // fixwake: both entries gate on the same 40 ns transfer.
+    ASSERT_NE(cls.find("fixwake"), cls.end());
+    EXPECT_EQ(cls.at("fixwake").boundNs, 40);
+    EXPECT_EQ(cls.at("fixwake").entries.size(), 2u);
+}
+
+TEST(Analyze, LookaheadReportIsWellFormedJson)
+{
+    const Project p = loadProject(SHRIMP_ANALYZE_FIXTURES);
+    const std::string text = lookaheadJson(p);
+
+    JsonParser jp{text};
+    const Json doc = jp.value();
+    jp.ws();
+    ASSERT_TRUE(jp.ok && jp.i == text.size())
+        << "lookahead report is not well-formed JSON";
+    EXPECT_EQ(doc["tool"].str, "shrimp_analyze");
+    EXPECT_EQ(doc["report"].str, "lookahead");
+
+    ASSERT_EQ(doc["classes"].kind, Json::Arr);
+    EXPECT_EQ(doc["classes"].arr.size(), p.lookahead.classes.size());
+    bool sawGood = false;
+    for (const Json &c : doc["classes"].arr) {
+        EXPECT_FALSE(c["class"].str.empty());
+        if (c["class"].str == "fixgood") {
+            EXPECT_EQ(int(c["boundNs"].num), 40);
+            EXPECT_TRUE(c["positive"].b);
+            ASSERT_EQ(c["gates"].kind, Json::Arr);
+            ASSERT_EQ(c["gates"].arr.size(), 1u);
+            EXPECT_EQ(c["gates"].at(0)["fn"].str, "Lane::pull");
+            EXPECT_NE(c["gates"].at(0)["why"].str.find("transfer"),
+                      std::string::npos);
+            sawGood = true;
+        }
+    }
+    EXPECT_TRUE(sawGood);
+
+    // Every seeded violation surfaces in the report with its rule.
+    ASSERT_EQ(doc["violations"].kind, Json::Arr);
+    std::set<std::string> rules;
+    for (const Json &v : doc["violations"].arr) {
+        EXPECT_FALSE(v["fingerprint"].str.empty());
+        EXPECT_FALSE(v["message"].str.empty());
+        rules.insert(v["rule"].str);
+    }
+    EXPECT_EQ(rules.count("zero-lookahead-path"), 1u);
+    EXPECT_EQ(rules.count("zero-delay-cycle"), 1u);
+    EXPECT_EQ(rules.count("cross-node-wake-uncharged"), 1u);
+}
+
+TEST(Analyze, LookaheadPinsGateProvenBounds)
+{
+    const Project p = loadProject(SHRIMP_ANALYZE_FIXTURES);
+    std::string err;
+
+    // A pin at (or below) the proven bound passes.
+    EXPECT_TRUE(checkLookaheadPins(p, {"fixgood:40"}, err)) << err;
+    EXPECT_TRUE(checkLookaheadPins(p, {"fixgood:1", "fixwake:40"}, err))
+        << err;
+
+    // A pin above the proven bound fails — this is the CI regression
+    // gate: an edit that drops a gate's fold below the pin must fail.
+    EXPECT_FALSE(checkLookaheadPins(p, {"fixgood:41"}, err));
+    EXPECT_NE(err.find("fixgood"), std::string::npos);
+
+    // A class whose bound collapsed to zero fails any positive pin.
+    EXPECT_FALSE(checkLookaheadPins(p, {"fixzero:1"}, err));
+
+    // Unannotated classes and malformed pins fail loudly.
+    EXPECT_FALSE(checkLookaheadPins(p, {"no-such-class:1"}, err));
+    EXPECT_FALSE(checkLookaheadPins(p, {"fixgood"}, err));
+    EXPECT_FALSE(checkLookaheadPins(p, {"fixgood:xyz"}, err));
+}
+
+TEST(Analyze, SarifDriverDescribesTheLookaheadRules)
+{
+    const auto findings = analyzeTree(SHRIMP_ANALYZE_FIXTURES);
+    const std::string text = sarifReport(findings, "src", {});
+    JsonParser p{text};
+    const Json doc = p.value();
+    ASSERT_TRUE(p.ok);
+
+    std::set<std::string> ids;
+    for (const Json &r :
+         doc["runs"].at(0)["tool"]["driver"]["rules"].arr)
+        ids.insert(r["id"].str);
+    EXPECT_EQ(ids.count("zero-lookahead-path"), 1u);
+    EXPECT_EQ(ids.count("zero-delay-cycle"), 1u);
+    EXPECT_EQ(ids.count("cross-node-wake-uncharged"), 1u);
 }
 
 TEST(Analyze, OwnershipReportIsWellFormedAndMarksAllowedEdges)

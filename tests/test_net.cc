@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <tuple>
+
 #include "base/logging.hh"
+#include "base/span.hh"
 #include "net/mesh.hh"
 #include "test_util.hh"
 
@@ -442,6 +446,66 @@ TEST(MeshEngines, AllPairs8x8DeliveryStreamsMatch)
     expectSameDeliveries(
         runUnderEngine(Mesh::Engine::Serialized, 8, 8, traffic, per),
         runUnderEngine(Mesh::Engine::Coalesced, 8, 8, traffic, per));
+}
+
+TEST(MeshEngines, SpanSampledDeliveryAndFlowStreamsMatch)
+{
+    // --span-sample coverage on the coalesced engine: with sampling on
+    // and the tracer capturing, both engines must produce the same
+    // delivery stream AND the same flow-event stream (every sampled
+    // packet's hop/eject waypoints at the same ticks on the same ids).
+    auto &tracer = trace::Tracer::instance();
+    using Phase = trace::Tracer::Phase;
+    auto traffic = [](sim::Simulator &, Mesh &mesh) {
+        trace::TrackId t = trace::track("mesh_test.origin");
+        int n = mesh.numNodes();
+        for (NodeId src = 0; src < n; ++src) {
+            for (NodeId dst = 0; dst < n; ++dst) {
+                if (dst == src)
+                    continue;
+                Packet p;
+                p.src = src;
+                p.dst = dst;
+                p.destAddr = PAddr(src) * 10000 + PAddr(dst);
+                p.payload.assign(128, std::uint8_t(src ^ dst));
+                p.spanId = span::origin(t, "msg", 0);
+                mesh.inject(std::move(p));
+            }
+        }
+    };
+    auto flows = [&tracer] {
+        std::vector<std::tuple<int, Tick, std::string, std::uint64_t>> out;
+        for (const auto &e : tracer.events()) {
+            if (e.phase >= Phase::FlowStart)
+                out.emplace_back(int(e.phase), e.tick,
+                                 std::string(e.name), e.id);
+        }
+        return out;
+    };
+    std::vector<int> per(16, 15);
+
+    tracer.setEnabled(true);
+    tracer.clear();
+    span::reset();
+    span::setSampleEvery(2);
+    auto serialized = runUnderEngine(Mesh::Engine::Serialized, 4, 4,
+                                     traffic, per);
+    auto serializedFlows = flows();
+
+    tracer.clear();
+    span::reset();
+    span::setSampleEvery(2);
+    auto coalesced = runUnderEngine(Mesh::Engine::Coalesced, 4, 4,
+                                    traffic, per);
+    auto coalescedFlows = flows();
+
+    span::reset();
+    tracer.setEnabled(false);
+    tracer.clear();
+
+    expectSameDeliveries(serialized, coalesced);
+    EXPECT_FALSE(serializedFlows.empty());
+    EXPECT_EQ(coalescedFlows, serializedFlows);
 }
 
 TEST(MeshEngines, IncastContentionDeliveryStreamsMatch)

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "base/logging.hh"
+#include "mem/zero_region.hh"
 #include "node/machine.hh"
 #include "test_util.hh"
 
@@ -341,6 +342,37 @@ TEST(MachineStats, DumpReflectsTrafficAndBalances)
     EXPECT_EQ(stats["node1.nic.packetsDropped"], 0u);
     EXPECT_GT(stats["node1.eisa.bytes"], 0u);
     EXPECT_GT(stats["node0.cpu.busyNs"], 0u);
+}
+
+TEST(MachineStats, ZeroPoolReusesMappingsAcrossMachineLifetimes)
+{
+    // Park this configuration's node memories in the process-wide pool,
+    // then build the same machine again: the second lifetime must be
+    // served from the pool, not from fresh mappings.
+    { Machine park; }
+    const std::size_t reuse0 = mem::ZeroRegion::poolReuseCount();
+    const std::size_t fresh0 = mem::ZeroRegion::poolFreshCount();
+
+    Machine m;
+    EXPECT_GT(mem::ZeroRegion::poolReuseCount(), reuse0)
+        << "back-to-back machine lifetimes did not reuse parked "
+           "mappings";
+    EXPECT_EQ(mem::ZeroRegion::poolFreshCount(), fresh0)
+        << "an identically-sized region was allocated fresh despite "
+           "the pool";
+
+    // The counters surface in every stats dump.
+    std::ostringstream os;
+    m.dumpStats(os);
+    std::map<std::string, std::uint64_t> stats;
+    std::istringstream is(os.str());
+    std::string name;
+    std::uint64_t value;
+    while (is >> name >> value)
+        stats[name] = value;
+    EXPECT_GT(stats["mem.zeropool.reuse"], 0u);
+    EXPECT_EQ(stats.count("mem.zeropool.fresh"), 1u);
+    EXPECT_EQ(stats.count("mem.zeropool.bytesRezeroed"), 1u);
 }
 
 } // namespace

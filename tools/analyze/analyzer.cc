@@ -13,6 +13,7 @@
 #include "cache.hh"
 #include "dataflow.hh"
 #include "lexer.hh"
+#include "lookahead.hh"
 #include "ownership.hh"
 #include "parse.hh"
 #include "rules.hh"
@@ -210,6 +211,7 @@ loadProject(const std::vector<std::string> &roots,
     buildTypeIndex(p);
     buildSummaries(p);
     buildOwnership(p);
+    buildLookahead(p);
     return p;
 }
 
@@ -233,6 +235,9 @@ runRules(const Project &p)
     ruleSharedMutableStatic(p, out);
     ruleCrossNodeEscape(p, out);
     ruleEventCaptureEscape(p, out);
+    ruleZeroLookaheadPath(p, out);
+    ruleZeroDelayCycle(p, out);
+    ruleCrossNodeWakeUncharged(p, out);
     std::sort(out.begin(), out.end(),
               [](const Finding &a, const Finding &b) {
                   if (a.file != b.file)

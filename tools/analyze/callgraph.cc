@@ -243,11 +243,28 @@ callSites(const Project &p, const SourceFile &f, const FnDef &fn)
                 openCalls.pop_back();
             continue;
         }
-        if ((t.is(";") && paren == 0) || t.is("{") || t.is("}")) {
+        if (t.is("{") || t.is("}")) {
+            // Inside an open argument list a brace opens a lambda body
+            // or a braced initializer, not a new statement: the
+            // enclosing call must stay open so calls inside the lambda
+            // keep their parent link (scheduleIn(0, [this] { run(); })).
+            if (paren > 0) {
+                paren += t.is("{") ? 1 : -1;
+                while (!openCalls.empty() &&
+                       paren <= out[openCalls.back()].parenDepth)
+                    openCalls.pop_back();
+                continue;
+            }
             stmt = k + 1;
             stmtEnd = stmt;
             openCalls.clear();
-            paren = 0;
+            paren = 0; // resync if the stream was unbalanced
+            continue;
+        }
+        if (t.is(";") && paren == 0) {
+            stmt = k + 1;
+            stmtEnd = stmt;
+            openCalls.clear();
             continue;
         }
         if (!isCallableName(t) || k + 1 >= fn.bodyEnd ||

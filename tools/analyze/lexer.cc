@@ -31,13 +31,25 @@ identChar(char c)
 }
 
 /** Mine a comment for `analyze: allow(rule)` / `analyze: free` /
- *  `analyze: shared(reason)` annotations (several may appear in one
- *  comment). `shared` allowlists a deliberate machine-wide singleton
- *  for the shared-mutable-static rule; the reason text stays in the
- *  comment for the reader — only the tag is recorded. */
+ *  `analyze: shared(reason)` / `analyze: lookahead*(...)` annotations
+ *  (several may appear in one comment). `shared` allowlists a
+ *  deliberate machine-wide singleton for the shared-mutable-static
+ *  rule. The lookahead family (lookahead.hh) keeps its parenthesized
+ *  argument: edge-class names for lookahead-entry/-charge, the effect
+ *  kind for lookahead-effect, the justification for a bare
+ *  lookahead(reason). */
 void
 mineComment(const std::string &text, int line, SourceFile &out)
 {
+    const auto parenArg = [&text](std::size_t p) -> std::string {
+        std::size_t open = text.find('(', p);
+        std::size_t close =
+            open == std::string::npos ? open : text.find(')', open);
+        if (close == std::string::npos)
+            return "";
+        return text.substr(open + 1, close - open - 1);
+    };
+
     std::size_t at = 0;
     while ((at = text.find("analyze:", at)) != std::string::npos) {
         // Attribute the annotation to the comment line it is written
@@ -49,16 +61,24 @@ mineComment(const std::string &text, int line, SourceFile &out)
         while (p < text.size() && text[p] == ' ')
             ++p;
         if (text.compare(p, 4, "free") == 0) {
-            out.annotations.push_back({atLine, "charged-time"});
+            out.annotations.push_back({atLine, "charged-time", ""});
         } else if (text.compare(p, 6, "shared") == 0) {
-            out.annotations.push_back({atLine, "shared"});
+            out.annotations.push_back({atLine, "shared", ""});
+        } else if (text.compare(p, 15, "lookahead-entry") == 0) {
+            out.annotations.push_back(
+                {atLine, "lookahead-entry", parenArg(p)});
+        } else if (text.compare(p, 16, "lookahead-charge") == 0) {
+            out.annotations.push_back(
+                {atLine, "lookahead-charge", parenArg(p)});
+        } else if (text.compare(p, 16, "lookahead-effect") == 0) {
+            out.annotations.push_back(
+                {atLine, "lookahead-effect", parenArg(p)});
+        } else if (text.compare(p, 9, "lookahead") == 0) {
+            out.annotations.push_back({atLine, "lookahead", parenArg(p)});
         } else if (text.compare(p, 5, "allow") == 0) {
-            std::size_t open = text.find('(', p);
-            std::size_t close =
-                open == std::string::npos ? open : text.find(')', open);
-            if (close != std::string::npos)
-                out.annotations.push_back(
-                    {atLine, text.substr(open + 1, close - open - 1)});
+            const std::string rule = parenArg(p);
+            if (!rule.empty())
+                out.annotations.push_back({atLine, rule, ""});
         }
         at = p;
     }

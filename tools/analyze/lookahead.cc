@@ -1,0 +1,1267 @@
+#include "lookahead.hh"
+
+#include <algorithm>
+#include <climits>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "callgraph.hh"
+#include "dataflow.hh"
+#include "ownership.hh"
+#include "parse.hh"
+
+namespace shrimp::analyze
+{
+
+namespace
+{
+
+/** A folded charge bound: @p lo is a sound lower bound (the simulator
+ *  never charges negative time), @p exact means lo is the value. */
+struct Bnd
+{
+    long long lo = 0;
+    bool exact = false;
+};
+
+constexpr long long kInf = LLONG_MAX / 4;
+
+/** One definition the pass walks. */
+struct FnRef
+{
+    const SourceFile *f = nullptr;
+    const FnDef *fn = nullptr;
+};
+
+/** One call-graph distance edge (charge accumulated in the caller
+ *  before control can reach the callee along this edge). */
+struct DistEdge
+{
+    std::string from;
+    std::string to;
+    long long weight = 0;
+    bool schedZero = false; //!< scheduleIn with a provably-zero delay
+    std::string file;
+    int line = 0;
+};
+
+struct Ctx
+{
+    const Project &p;
+    /** bare constant name -> fold of its initializer (namespace-scope
+     *  constexpr variables; collisions keep the minimum — sound). */
+    std::map<std::string, Bnd> consts;
+    std::map<std::string, Bnd> fieldMemo; //!< "Cls::field" -> bound
+    std::set<std::string> fieldBusy;      //!< cycle guard
+    std::map<std::string, long long> minCharge; //!< fn key -> bound
+    std::map<std::string, std::vector<FnRef>> fns;
+    int depth = 0;
+
+    explicit Ctx(const Project &proj) : p(proj) {}
+};
+
+Bnd foldRange(Ctx &cx, const SourceFile &f, const FnDef *fn,
+              std::size_t b, std::size_t e);
+Bnd fieldBound(Ctx &cx, const std::string &cls,
+               const std::string &field);
+
+/** Parse a numeric literal token: digit separators stripped, integer
+ *  suffixes dropped. Floating literals fold inexact-zero. */
+Bnd
+foldNumber(const std::string &text)
+{
+    std::string t;
+    for (const char c : text)
+        if (c != '\'')
+            t += c;
+    if (t.find('.') != std::string::npos)
+        return {0, false};
+    // 0x1p4-style hex floats carry 'p'; plain hex carries none.
+    if (t.find('p') != std::string::npos ||
+        t.find('P') != std::string::npos)
+        return {0, false};
+    while (!t.empty()) {
+        const char c = t.back();
+        if (c == 'u' || c == 'U' || c == 'l' || c == 'L' || c == 'z' ||
+            c == 'Z')
+            t.pop_back();
+        else
+            break;
+    }
+    if (t.empty())
+        return {0, false};
+    try {
+        return {std::stoll(t, nullptr, 0), true};
+    } catch (const std::exception &) {
+        return {0, false};
+    }
+}
+
+/** Is @p name a field of exactly one indexed class? Fills @p cls. */
+bool
+uniqueFieldOwner(const Project &p, const std::string &name,
+                 std::string &cls)
+{
+    cls.clear();
+    for (const auto &[cname, fields] : p.types.fields) {
+        if (fields.count(name) == 0)
+            continue;
+        if (!cls.empty())
+            return false;
+        cls = cname;
+    }
+    return !cls.empty();
+}
+
+/**
+ * Fold one factor starting at @p i inside [i, e). Advances @p i one
+ * past the factor. Identifier chains resolve through the typed index:
+ * `cfg.hopLatency` folds the receiver class's field default,
+ * `units::us` the namespace constant, a bare field of the enclosing
+ * class its fieldBound(); calls and unknown names fold {0, inexact}.
+ */
+Bnd
+foldFactor(Ctx &cx, const SourceFile &f, const FnDef *fn,
+           std::size_t &i, std::size_t e)
+{
+    const Tokens &toks = f.toks;
+    if (i >= e)
+        return {0, false};
+    const Token &t = toks[i];
+
+    if (t.is("(")) {
+        const std::size_t close = skipBalanced(toks, i);
+        const Bnd inner = foldRange(cx, f, fn, i + 1, close - 1);
+        i = close;
+        return inner;
+    }
+    if (t.kind == Tok::Number) {
+        ++i;
+        return foldNumber(t.text);
+    }
+    if (!t.ident()) {
+        ++i;
+        return {0, false};
+    }
+
+    // Identifier chain: `A::B`, `x.y->z`, with call hops. Find the
+    // final member name and whether the chain ends in a call.
+    std::size_t k = i;
+    std::size_t lastName = i;
+    std::size_t lastSep = 0; //!< token index of the final `.`/`->`
+    bool isCall = false;
+    while (k < e) {
+        if (toks[k].ident()) {
+            lastName = k;
+            ++k;
+            continue;
+        }
+        if (toks[k].is("::") || toks[k].is(".") || toks[k].is("->")) {
+            if (!toks[k].is("::"))
+                lastSep = k;
+            ++k;
+            continue;
+        }
+        if (toks[k].is("(") || toks[k].is("{")) {
+            const std::size_t close = skipBalanced(toks, k);
+            if (close < e && (toks[close].is(".") || toks[close].is("->"))) {
+                // call hop inside a longer chain (config().x)
+                k = close;
+                continue;
+            }
+            isCall = true;
+            k = close;
+            break;
+        }
+        break;
+    }
+    const std::string name = toks[lastName].text;
+    i = k;
+
+    if (isCall)
+        return {0, false}; // calls fold to zero, conservatively
+
+    if (lastSep != 0 && fn != nullptr) {
+        // Member chain: resolve the receiver class of the last hop.
+        const std::string cls =
+            resolveReceiver(cx.p, f, *fn, lastSep);
+        if (!cls.empty() && cx.p.types.fields.count(cls) != 0 &&
+            cx.p.types.fields.at(cls).count(name) != 0)
+            return fieldBound(cx, cls, name);
+    }
+    if (lastSep != 0) {
+        std::string cls;
+        if (uniqueFieldOwner(cx.p, name, cls))
+            return fieldBound(cx, cls, name);
+        return {0, false};
+    }
+
+    // Bare (possibly ::-qualified) name.
+    if (fn != nullptr) {
+        for (const Local &l : fn->locals)
+            if (l.name == name)
+                return {0, false};
+        for (const Param &pa : fn->params)
+            if (pa.name == name)
+                return {0, false};
+        if (!fn->className.empty() &&
+            cx.p.types.fields.count(fn->className) != 0 &&
+            cx.p.types.fields.at(fn->className).count(name) != 0)
+            return fieldBound(cx, fn->className, name);
+    }
+    const auto cit = cx.consts.find(name);
+    if (cit != cx.consts.end())
+        return cit->second;
+    std::string cls;
+    if (uniqueFieldOwner(cx.p, name, cls))
+        return fieldBound(cx, cls, name);
+    return {0, false};
+}
+
+/** Fold [b, e) as `term + term + ...`, each term `factor * factor`.
+ *  A top-level `-`, `/`, `?` or shift poisons the fold to {0,
+ *  inexact} — still a sound lower bound for non-negative charges. */
+Bnd
+foldRange(Ctx &cx, const SourceFile &f, const FnDef *fn, std::size_t b,
+          std::size_t e)
+{
+    if (cx.depth > 24)
+        return {0, false};
+    ++cx.depth;
+
+    long long sum = 0;
+    bool exact = true;
+    long long term = -1; // -1: no factor folded yet
+    bool termExact = true;
+
+    const auto flushTerm = [&]() {
+        if (term < 0)
+            term = 0;
+        sum += term;
+        exact = exact && termExact;
+        term = -1;
+        termExact = true;
+    };
+
+    std::size_t i = b;
+    bool poisoned = false;
+    while (i < e && i < f.toks.size()) {
+        const Token &t = f.toks[i];
+        if (t.is("+")) {
+            flushTerm();
+            ++i;
+            continue;
+        }
+        if (t.is("*") && term >= 0) {
+            ++i;
+            continue;
+        }
+        if (t.is("-") || t.is("/") || t.is("%") || t.is("?") ||
+            t.is("<<") || t.is("&") || t.is("|") || t.is("^") ||
+            t.is(",")) {
+            poisoned = true;
+            break;
+        }
+        const Bnd fac = foldFactor(cx, f, fn, i, e);
+        if (term < 0) {
+            term = fac.lo;
+            termExact = fac.exact;
+        } else {
+            term *= fac.lo;
+            termExact = termExact && fac.exact;
+        }
+    }
+    --cx.depth;
+    if (poisoned)
+        return {0, false};
+    flushTerm();
+    if (sum < 0)
+        sum = 0;
+    return {sum, exact};
+}
+
+/**
+ * Minimum over every initialization/assignment site of
+ * @p cls::@p field: in-class initializer, constructor init-list entry,
+ * and `recv.field = expr` assignments whose receiver resolves to
+ * @p cls. A provably-zero in-class default is excluded while other
+ * candidates exist (it is the "not yet charged" sentinel, e.g.
+ * `Tick occ = 0;`, not a charge the code ever pays).
+ */
+Bnd
+fieldBound(Ctx &cx, const std::string &cls, const std::string &field)
+{
+    const std::string key = cls + "::" + field;
+    const auto mit = cx.fieldMemo.find(key);
+    if (mit != cx.fieldMemo.end())
+        return mit->second;
+    if (cx.fieldBusy.count(key) != 0)
+        return {0, false};
+    cx.fieldBusy.insert(key);
+
+    std::vector<Bnd> others;    // ctor-init / assignment candidates
+    std::vector<Bnd> inClass;   // in-class initializer candidates
+
+    for (const SourceFile &f : cx.p.files) {
+        const Tokens &toks = f.toks;
+
+        // In-class initializer: locate the declaration via the field
+        // table (line-matched), fold `= expr ;` or `{ expr }`.
+        for (const FieldDecl &fd : f.fields) {
+            if (fd.className != cls || fd.name != field)
+                continue;
+            for (const ClassDef &cd : f.classes) {
+                if (cd.name != cls)
+                    continue;
+                for (std::size_t k = cd.bodyBegin;
+                     k + 1 < cd.bodyEnd && k + 1 < toks.size(); ++k) {
+                    if (toks[k].line != fd.line || !toks[k].ident() ||
+                        toks[k].text != field)
+                        continue;
+                    if (toks[k + 1].is("=")) {
+                        std::size_t end = k + 2;
+                        while (end < cd.bodyEnd && !toks[end].is(";"))
+                            ++end;
+                        inClass.push_back(
+                            foldRange(cx, f, nullptr, k + 2, end));
+                    } else if (toks[k + 1].is("{")) {
+                        const std::size_t close =
+                            skipBalanced(toks, k + 1);
+                        inClass.push_back(foldRange(cx, f, nullptr,
+                                                    k + 2, close - 1));
+                    }
+                    break;
+                }
+            }
+        }
+
+        for (const FnDef &fn : f.fns) {
+            // Constructor init-list: walk back from the body `{` to
+            // the `:` that opens the list (reverse paren depth 0).
+            if (fn.className == cls && fn.name == cls &&
+                fn.bodyBegin > 0) {
+                std::size_t start = 0;
+                int depth = 0;
+                std::size_t q = fn.bodyBegin;
+                std::size_t guard = 0;
+                while (q-- > 0 && ++guard < 400) {
+                    if (toks[q].is(")") || toks[q].is("}"))
+                        ++depth;
+                    else if (toks[q].is("(") || toks[q].is("{")) {
+                        if (depth == 0)
+                            break; // hit the parameter list: no list
+                        --depth;
+                    } else if (depth == 0 && toks[q].is(":")) {
+                        start = q + 1;
+                        break;
+                    }
+                }
+                for (std::size_t k = start;
+                     start != 0 && k + 1 < fn.bodyBegin; ++k) {
+                    if (!toks[k].ident() || toks[k].text != field ||
+                        (!toks[k + 1].is("(") && !toks[k + 1].is("{")))
+                        continue;
+                    const std::size_t close =
+                        skipBalanced(toks, k + 1);
+                    others.push_back(
+                        foldRange(cx, f, &fn, k + 2, close - 1));
+                    k = close;
+                }
+            }
+
+            // Assignments `recv.field = expr;` / `field = expr;` in
+            // any body, receiver-resolved to cls.
+            for (std::size_t k = fn.bodyBegin;
+                 k + 2 < fn.bodyEnd && k + 2 < toks.size(); ++k) {
+                if (!toks[k].ident() || toks[k].text != field ||
+                    !toks[k + 1].is("="))
+                    continue;
+                bool mine = false;
+                if (k > 0 &&
+                    (toks[k - 1].is(".") || toks[k - 1].is("->"))) {
+                    const std::string rcls =
+                        resolveReceiver(cx.p, f, fn, k - 1);
+                    mine = rcls == cls;
+                } else if (fn.className == cls) {
+                    mine = k == 0 || toks[k - 1].is(";") ||
+                           toks[k - 1].is("{") || toks[k - 1].is("}");
+                }
+                if (!mine)
+                    continue;
+                std::size_t end = k + 2;
+                int pd = 0;
+                while (end < fn.bodyEnd && end < toks.size()) {
+                    if (toks[end].is("(") || toks[end].is("["))
+                        ++pd;
+                    else if (toks[end].is(")") || toks[end].is("]"))
+                        --pd;
+                    else if (pd == 0 && toks[end].is(";"))
+                        break;
+                    ++end;
+                }
+                others.push_back(foldRange(cx, f, &fn, k + 2, end));
+                k = end;
+            }
+        }
+    }
+
+    // Zero-sentinel exclusion (DESIGN.md §12.2): a provably-zero
+    // default only wins when nothing else ever sets the field.
+    std::vector<Bnd> pool = others;
+    for (const Bnd &b : inClass)
+        if (!(b.exact && b.lo == 0) || others.empty())
+            pool.push_back(b);
+
+    Bnd out{0, false};
+    if (!pool.empty()) {
+        out = {kInf, true};
+        for (const Bnd &b : pool) {
+            out.lo = std::min(out.lo, b.lo);
+            out.exact = out.exact && b.exact;
+        }
+    }
+    cx.fieldBusy.erase(key);
+    cx.fieldMemo[key] = out;
+    return out;
+}
+
+/** Scan every file for namespace-scope `constexpr TYPE NAME = expr;`
+ *  and fold the initializers (two rounds: constants referencing
+ *  earlier-folded constants resolve on the second). */
+void
+scanConsts(Ctx &cx)
+{
+    for (int round = 0; round < 2; ++round) {
+        for (const SourceFile &f : cx.p.files) {
+            const Tokens &toks = f.toks;
+            for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+                if (!toks[i].is("constexpr"))
+                    continue;
+                // NAME is the ident right before a `=` with no call
+                // parens in between (skips constexpr functions).
+                std::size_t eq = i + 1;
+                bool fnLike = false;
+                while (eq < toks.size() && !toks[eq].is("=") &&
+                       !toks[eq].is(";")) {
+                    if (toks[eq].is("(") || toks[eq].is("{")) {
+                        fnLike = true;
+                        break;
+                    }
+                    ++eq;
+                }
+                if (fnLike || eq >= toks.size() || !toks[eq].is("=") ||
+                    !toks[eq - 1].ident())
+                    continue;
+                std::size_t end = eq + 1;
+                int pd = 0;
+                while (end < toks.size()) {
+                    if (toks[end].is("(") || toks[end].is("{"))
+                        ++pd;
+                    else if (toks[end].is(")") || toks[end].is("}"))
+                        --pd;
+                    else if (pd == 0 && toks[end].is(";"))
+                        break;
+                    ++end;
+                }
+                const Bnd b = foldRange(cx, f, nullptr, eq + 1, end);
+                const std::string &name = toks[eq - 1].text;
+                const auto it = cx.consts.find(name);
+                if (it == cx.consts.end() || b.lo < it->second.lo)
+                    cx.consts[name] = b;
+                i = end;
+            }
+        }
+    }
+}
+
+/** Result of one body walk. */
+struct Walk
+{
+    long long minCharge = 0;          //!< min over exits
+    std::vector<long long> accBefore; //!< per callSites() index
+    std::map<int, long long> accAtLine;
+    std::vector<CallSite> sites;
+};
+
+bool
+isCondKeyword(const std::string &t)
+{
+    return t == "if" || t == "for" || t == "while" || t == "switch" ||
+           t == "else" || t == "case" || t == "catch" || t == "do";
+}
+
+/**
+ * Walk @p fn's body accumulating the unconditional charge prefix:
+ * charges inside conditional regions (nested braces, braceless
+ * if/else bodies, `?:` tails) do not count, every return contributes
+ * the prefix reached so far to the function's minimum. Charge sites:
+ * awaited `compute(expr)` (arg 0), awaited `transfer(bytes, lat)`
+ * (arg 1), awaited `Delay{q, expr}` (last arg), plus the current
+ * interprocedural minCharge of any resolved callee.
+ */
+Walk
+walkFn(Ctx &cx, const SourceFile &f, const FnDef &fn)
+{
+    Walk w;
+    w.sites = callSites(cx.p, f, fn);
+    w.accBefore.assign(w.sites.size(), 0);
+
+    std::map<std::size_t, std::size_t> byNameIdx;
+    for (std::size_t s = 0; s < w.sites.size(); ++s)
+        byNameIdx[w.sites[s].nameIdx] = s;
+
+    const Tokens &toks = f.toks;
+    long long acc = 0;
+    long long minSeen = kInf;
+    int brace = 0;
+    int paren = 0;
+    bool condPending = false;
+    bool awaitStmt = false;
+
+    for (std::size_t i = fn.bodyBegin + 1;
+         i + 1 < fn.bodyEnd && i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (w.accAtLine.count(t.line) == 0)
+            w.accAtLine[t.line] = acc;
+
+        if (t.is("{")) {
+            ++brace;
+            continue;
+        }
+        if (t.is("}")) {
+            if (--brace <= 0) {
+                brace = 0;
+                condPending = false;
+            }
+            continue;
+        }
+        if (t.is("(") || t.is("[")) {
+            ++paren;
+        } else if (t.is(")") || t.is("]")) {
+            --paren;
+        } else if (t.is(";")) {
+            awaitStmt = false;
+            if (brace == 0 && paren <= 0)
+                condPending = false;
+        } else if (t.ident() && isCondKeyword(t.text)) {
+            if (brace == 0)
+                condPending = true;
+        } else if (t.is("?") && brace == 0 && paren <= 0) {
+            condPending = true;
+        } else if (t.ident() &&
+                   (t.is("return") || t.is("co_return"))) {
+            minSeen = std::min(minSeen, acc);
+        } else if (t.ident() && t.is("co_await")) {
+            awaitStmt = true;
+        }
+
+        const bool suppress = brace > 0 || condPending;
+
+        // Delay{q, expr} is brace-construction, invisible to
+        // callSites(); charge its last argument when awaited.
+        if (t.ident() && t.is("Delay") && i + 1 < toks.size() &&
+            toks[i + 1].is("{")) {
+            const std::size_t close = skipBalanced(toks, i + 1);
+            if (awaitStmt && !suppress) {
+                const auto args =
+                    splitArgs(toks, i + 2, close - 1);
+                if (!args.empty()) {
+                    const Bnd b =
+                        foldRange(cx, f, &fn, args.back().first,
+                                  args.back().second);
+                    acc += b.lo;
+                }
+            }
+            i = close - 1;
+            continue;
+        }
+
+        const auto sit = byNameIdx.find(i);
+        if (sit == byNameIdx.end())
+            continue;
+        const CallSite &cs = w.sites[sit->second];
+        w.accBefore[sit->second] = acc;
+        if (suppress)
+            continue;
+
+        const auto args = splitArgs(toks, cs.argsBegin, cs.argsEnd);
+        if (cs.callee == "compute" && cs.stmtConsumed &&
+            !args.empty()) {
+            acc += foldRange(cx, f, &fn, args[0].first,
+                             args[0].second)
+                       .lo;
+        } else if (cs.callee == "transfer" && cs.stmtConsumed &&
+                   args.size() >= 2) {
+            acc += foldRange(cx, f, &fn, args[1].first,
+                             args[1].second)
+                       .lo;
+        } else if (!cs.key.empty()) {
+            const auto mit = cx.minCharge.find(cs.key);
+            if (mit != cx.minCharge.end()) {
+                const auto sum = cx.p.summaries.find(cs.key);
+                const bool needsAwait =
+                    sum != cx.p.summaries.end() &&
+                    sum->second.suspends;
+                if (!needsAwait || cs.stmtConsumed)
+                    acc += mit->second;
+            }
+        }
+    }
+
+    w.minCharge = std::min(minSeen, acc);
+    return w;
+}
+
+/** The FnDef whose body (or signature, within 4 lines below an
+ *  annotation) owns @p line in @p f; null when none. */
+const FnDef *
+fnAtLine(const SourceFile &f, int line, bool allowFollowing)
+{
+    const FnDef *best = nullptr;
+    for (const FnDef &fn : f.fns) {
+        if (fn.bodyBegin >= f.toks.size() || fn.bodyEnd == 0 ||
+            fn.bodyEnd > f.toks.size())
+            continue;
+        const int lo = fn.line;
+        const int hi = f.toks[fn.bodyEnd - 1].line;
+        if (line >= lo && line <= hi)
+            return &fn;
+        if (allowFollowing && fn.line >= line &&
+            fn.line <= line + 4 &&
+            (best == nullptr || fn.line < best->line))
+            best = &fn;
+    }
+    return best;
+}
+
+/** Split "a, b" on commas, trimming spaces. */
+std::vector<std::string>
+splitClasses(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : arg) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else if (c != ' ') {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/** Render a fold provenance string for reports. */
+std::string
+renderBound(const Bnd &b)
+{
+    return (b.exact ? ">= " : ">= ") + std::to_string(b.lo) +
+           (b.exact ? " ns (exact)" : " ns (lower bound)");
+}
+
+/**
+ * Fold the charge expression covered by a gate annotation at
+ * @p aline: the first compute/transfer/scheduleIn call site, awaited
+ * Delay{...}, or `= expr;` assignment on lines [aline, aline+3].
+ */
+Bnd
+foldGate(Ctx &cx, const SourceFile &f, const FnDef &fn, int aline,
+         const std::vector<CallSite> &sites, std::string &why)
+{
+    const Tokens &toks = f.toks;
+    const auto covered = [aline](int line) {
+        return line >= aline && line <= aline + 3;
+    };
+
+    for (const CallSite &cs : sites) {
+        if (!covered(cs.line))
+            continue;
+        const auto args = splitArgs(toks, cs.argsBegin, cs.argsEnd);
+        if (cs.callee == "compute" && !args.empty()) {
+            const Bnd b = foldRange(cx, f, &fn, args[0].first,
+                                    args[0].second);
+            why = "compute(...) " + renderBound(b);
+            return b;
+        }
+        if (cs.callee == "transfer" && args.size() >= 2) {
+            const Bnd b = foldRange(cx, f, &fn, args[1].first,
+                                    args[1].second);
+            why = "transfer(.., latency) " + renderBound(b);
+            return b;
+        }
+        if (cs.callee == "scheduleIn" && !args.empty()) {
+            const Bnd b = foldRange(cx, f, &fn, args[0].first,
+                                    args[0].second);
+            why = "scheduleIn(delay, ..) " + renderBound(b);
+            return b;
+        }
+    }
+    for (std::size_t i = fn.bodyBegin + 1;
+         i + 1 < fn.bodyEnd && i + 1 < toks.size(); ++i) {
+        if (!covered(toks[i].line))
+            continue;
+        if (toks[i].ident() && toks[i].is("Delay") &&
+            toks[i + 1].is("{")) {
+            const std::size_t close = skipBalanced(toks, i + 1);
+            const auto args = splitArgs(toks, i + 2, close - 1);
+            if (!args.empty()) {
+                const Bnd b = foldRange(cx, f, &fn, args.back().first,
+                                        args.back().second);
+                why = "Delay{..} " + renderBound(b);
+                return b;
+            }
+        }
+        if (toks[i].is("=")) {
+            std::size_t end = i + 1;
+            int pd = 0;
+            while (end < fn.bodyEnd && end < toks.size()) {
+                if (toks[end].is("(") || toks[end].is("["))
+                    ++pd;
+                else if (toks[end].is(")") || toks[end].is("]"))
+                    --pd;
+                else if (pd == 0 && toks[end].is(";"))
+                    break;
+                ++end;
+            }
+            const Bnd b = foldRange(cx, f, &fn, i + 1, end);
+            why = "assignment " + renderBound(b);
+            return b;
+        }
+    }
+    why = "no foldable charge expression at the gate";
+    return {0, false};
+}
+
+/** Root identifier of a simple dotted receiver chain (`peer.notify`,
+ *  `a.b->notify`), or "" when the receiver is computed (a call or
+ *  subscript in the chain). CallSite::recvChain only records that a
+ *  receiver exists ("member"), not its name, so we re-read tokens. */
+std::string
+receiverRootName(const Tokens &toks, std::size_t nameIdx)
+{
+    std::size_t k = nameIdx;
+    std::string root;
+    while (k >= 2 && (toks[k - 1].is(".") || toks[k - 1].is("->"))) {
+        if (!toks[k - 2].ident())
+            return "";
+        root = toks[k - 2].text;
+        k -= 2;
+    }
+    return root;
+}
+
+std::string
+jstr(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+void
+buildLookahead(Project &p)
+{
+    LookaheadMap &m = p.lookahead;
+    m.classes.clear();
+    m.gates.clear();
+    m.entries.clear();
+    m.violations.clear();
+
+    Ctx cx(p);
+    scanConsts(cx);
+
+    // Function index + interprocedural minCharge fixpoint (values are
+    // monotone non-decreasing; three rounds cover the call depths the
+    // datapaths actually have).
+    for (const SourceFile &f : p.files) {
+        if (!inOwnershipScope(f.dir))
+            continue;
+        for (const FnDef &fn : f.fns) {
+            if (fn.bodyBegin == 0 || fn.bodyEnd <= fn.bodyBegin)
+                continue;
+            const std::string key = fnKey(fn);
+            cx.fns[key].push_back({&f, &fn});
+            cx.minCharge.emplace(key, 0);
+        }
+    }
+    for (int round = 0; round < 3; ++round) {
+        for (const auto &[key, defs] : cx.fns) {
+            long long best = kInf;
+            for (const FnRef &r : defs)
+                best = std::min(
+                    best, walkFn(cx, *r.f, *r.fn).minCharge);
+            cx.minCharge[key] =
+                std::max(cx.minCharge[key],
+                         best == kInf ? 0 : best);
+        }
+    }
+
+    // Final walk: capture per-site prefixes, build distance edges,
+    // and collect annotation-driven entries/gates/effects.
+    struct Effect
+    {
+        std::string kind; // deliver / wake
+        std::string fnk;
+        std::string file;
+        int line = 0;
+        long long localAcc = 0;
+        bool allowed = false;
+        std::string what;
+    };
+    std::vector<DistEdge> edges;
+    std::vector<Effect> effects;
+    std::map<std::string, long long> dist;
+    for (const auto &[key, defs] : cx.fns) {
+        (void)defs;
+        dist[key] = kInf;
+    }
+
+    for (const auto &[key, defs] : cx.fns) {
+        for (const FnRef &r : defs) {
+            const SourceFile &f = *r.f;
+            const FnDef &fn = *r.fn;
+            const Walk w = walkFn(cx, f, fn);
+
+            for (std::size_t s = 0; s < w.sites.size(); ++s) {
+                const CallSite &cs = w.sites[s];
+
+                // Implicit wake effects: notify on a receiver rooted
+                // at a parameter — a waiter this function does not
+                // own, i.e. potentially on another node.
+                if (cs.callee == "notifyAll" ||
+                    cs.callee == "notifyRange" ||
+                    cs.callee == "notifyWrite") {
+                    const std::string root =
+                        receiverRootName(f.toks, cs.nameIdx);
+                    for (const Param &pa : fn.params) {
+                        if (pa.name != root || root.empty())
+                            continue;
+                        Effect ef;
+                        ef.kind = "wake";
+                        ef.fnk = key;
+                        ef.file = f.rel;
+                        ef.line = cs.line;
+                        ef.localAcc = w.accBefore[s];
+                        ef.allowed =
+                            f.allows(cs.line, "lookahead") ||
+                            f.allows(cs.line,
+                                     "cross-node-wake-uncharged");
+                        ef.what = root + "." + cs.callee;
+                        effects.push_back(ef);
+                        break;
+                    }
+                }
+
+                if (cs.key.empty() || cx.fns.count(cs.key) == 0)
+                    continue;
+                if (f.allows(cs.line, "lookahead"))
+                    continue; // justified exception: edge killed
+
+                DistEdge e;
+                e.from = key;
+                e.to = cs.key;
+                e.file = f.rel;
+                e.line = cs.line;
+                e.weight = w.accBefore[s];
+                // A call nested in a scheduleIn(delay, ...) argument
+                // fires after `delay` more ticks.
+                if (cs.argIndexInParent >= 0) {
+                    for (std::size_t q = 0; q < w.sites.size(); ++q) {
+                        const CallSite &par = w.sites[q];
+                        if (par.nameIdx != cs.parentNameIdx)
+                            continue;
+                        if (par.callee == "scheduleIn") {
+                            const auto pargs =
+                                splitArgs(f.toks, par.argsBegin,
+                                          par.argsEnd);
+                            if (!pargs.empty()) {
+                                const Bnd d = foldRange(
+                                    cx, f, &fn, pargs[0].first,
+                                    pargs[0].second);
+                                e.weight =
+                                    w.accBefore[q] + d.lo;
+                                e.schedZero =
+                                    d.exact && d.lo == 0;
+                                e.line = par.line;
+                            }
+                        }
+                        break;
+                    }
+                }
+                edges.push_back(e);
+            }
+
+            // Annotations anchored in this function.
+            for (const Annotation &a : f.annotations) {
+                if (a.rule == "lookahead-entry") {
+                    const FnDef *tgt = fnAtLine(f, a.line, true);
+                    if (tgt != &fn)
+                        continue;
+                    for (const std::string &cls :
+                         splitClasses(a.arg)) {
+                        m.classes[cls].entries.push_back(key);
+                        LookaheadEntry en;
+                        en.fnKey = key;
+                        en.file = f.rel;
+                        en.line = fn.line;
+                        en.minChargeNs = cx.minCharge[key];
+                        m.entries.push_back(en);
+                        dist[key] = 0;
+                    }
+                } else if (a.rule == "lookahead-charge") {
+                    const FnDef *tgt = fnAtLine(f, a.line, true);
+                    if (tgt != &fn)
+                        continue;
+                    std::string why;
+                    const Bnd b =
+                        foldGate(cx, f, fn, a.line, w.sites, why);
+                    for (const std::string &cls :
+                         splitClasses(a.arg)) {
+                        LookaheadGate g;
+                        g.cls = cls;
+                        g.fnKey = key;
+                        g.file = f.rel;
+                        g.line = a.line;
+                        g.boundNs = b.lo;
+                        g.why = why;
+                        m.classes[cls].gates.push_back(
+                            m.gates.size());
+                        m.gates.push_back(g);
+                    }
+                } else if (a.rule == "lookahead-effect") {
+                    // allowFollowing: above a one-line inline method,
+                    // "the statement below" is the whole function.
+                    const FnDef *tgt = fnAtLine(f, a.line, true);
+                    if (tgt != &fn)
+                        continue;
+                    Effect ef;
+                    ef.kind = a.arg.empty() ? "deliver" : a.arg;
+                    ef.fnk = key;
+                    ef.file = f.rel;
+                    ef.line = a.line;
+                    ef.localAcc = kInf;
+                    for (int l = a.line; l <= a.line + 3; ++l) {
+                        const auto it = w.accAtLine.find(l);
+                        if (it != w.accAtLine.end())
+                            ef.localAcc = std::min(ef.localAcc,
+                                                   it->second);
+                    }
+                    if (ef.localAcc == kInf)
+                        ef.localAcc = 0;
+                    ef.allowed = f.allows(a.line, "lookahead");
+                    ef.what = key;
+                    effects.push_back(ef);
+                }
+            }
+        }
+    }
+
+    // Forward min-distance from the entries over the charge edges.
+    for (bool changed = true; changed;) {
+        changed = false;
+        for (const DistEdge &e : edges) {
+            if (dist[e.from] >= kInf)
+                continue;
+            const long long cand = dist[e.from] + e.weight;
+            if (cand < dist[e.to]) {
+                dist[e.to] = cand;
+                changed = true;
+            }
+        }
+    }
+
+    // Per-class proven bound: the minimum over its gate folds.
+    for (auto &[cls, lc] : m.classes) {
+        std::sort(lc.entries.begin(), lc.entries.end());
+        lc.entries.erase(
+            std::unique(lc.entries.begin(), lc.entries.end()),
+            lc.entries.end());
+        lc.boundNs = lc.gates.empty() ? 0 : kInf;
+        lc.positive = !lc.gates.empty();
+        for (const std::size_t gi : lc.gates) {
+            lc.boundNs = std::min(lc.boundNs, m.gates[gi].boundNs);
+            lc.positive = lc.positive && m.gates[gi].boundNs > 0;
+        }
+        if (lc.boundNs == kInf)
+            lc.boundNs = 0;
+    }
+
+    // Rule 1: zero-lookahead-path.
+    for (const auto &[cls, lc] : m.classes) {
+        if (lc.gates.empty()) {
+            for (const std::string &ek : lc.entries) {
+                for (const LookaheadEntry &en : m.entries) {
+                    if (en.fnKey != ek)
+                        continue;
+                    const SourceFile *f = p.file(en.file);
+                    LookaheadViolation v;
+                    v.rule = "zero-lookahead-path";
+                    v.file = en.file;
+                    v.line = en.line;
+                    v.fingerprint =
+                        "lookahead/no-gate/" + cls + "/" + ek;
+                    v.message =
+                        "edge class '" + cls + "' (entry " + ek +
+                        ") has no lookahead-charge gate: no charged "
+                        "delay is proven before cross-node "
+                        "visibility";
+                    v.allowed =
+                        f != nullptr && f->allows(en.line,
+                                                  "lookahead");
+                    m.violations.push_back(v);
+                    break;
+                }
+            }
+        }
+        for (const std::size_t gi : lc.gates) {
+            const LookaheadGate &g = m.gates[gi];
+            if (g.boundNs > 0)
+                continue;
+            const SourceFile *f = p.file(g.file);
+            LookaheadViolation v;
+            v.rule = "zero-lookahead-path";
+            v.file = g.file;
+            v.line = g.line;
+            v.fingerprint =
+                "lookahead/zero-gate/" + cls + "/" + g.fnKey;
+            v.message = "lookahead-charge(" + cls + ") gate in " +
+                        g.fnKey +
+                        " folds to 0 ns: the class bound collapses "
+                        "(" + g.why + ")";
+            v.allowed =
+                f != nullptr && f->allows(g.line, "lookahead");
+            m.violations.push_back(v);
+        }
+    }
+    for (const Effect &ef : effects) {
+        const auto dit = dist.find(ef.fnk);
+        const long long base =
+            dit == dist.end() ? kInf : dit->second;
+        if (base >= kInf)
+            continue; // not reachable from any entry
+        const long long total = base + ef.localAcc;
+        if (total > 0)
+            continue;
+        LookaheadViolation v;
+        v.file = ef.file;
+        v.line = ef.line;
+        v.allowed = ef.allowed;
+        if (ef.kind == "wake") {
+            v.rule = "cross-node-wake-uncharged";
+            v.fingerprint = "lookahead/wake/" + ef.fnk + "/" + ef.what;
+            v.message =
+                "wake of a foreign waiter (" + ef.what + ") in " +
+                ef.fnk +
+                " is reachable from a datapath entry with 0 charged "
+                "simulated time";
+        } else {
+            v.rule = "zero-lookahead-path";
+            v.fingerprint =
+                "lookahead/effect/" + ef.fnk + "/" + ef.what;
+            v.message =
+                "cross-node deliver effect in " + ef.fnk +
+                " is reachable from a datapath entry with 0 charged "
+                "simulated time";
+        }
+        m.violations.push_back(v);
+    }
+
+    // Rule 3: zero-delay-cycle — a provably-zero scheduleIn whose
+    // target reaches the scheduling function back over zero-charge
+    // edges could stall simulated time entirely.
+    std::set<std::string> cycleSeen;
+    for (const DistEdge &se : edges) {
+        if (!se.schedZero)
+            continue;
+        bool cyclic = se.to == se.from;
+        if (!cyclic) {
+            std::set<std::string> seen{se.to};
+            std::vector<std::string> work{se.to};
+            while (!work.empty() && !cyclic) {
+                const std::string cur = work.back();
+                work.pop_back();
+                for (const DistEdge &e : edges) {
+                    if (e.from != cur || e.weight != 0)
+                        continue;
+                    if (e.to == se.from) {
+                        cyclic = true;
+                        break;
+                    }
+                    if (seen.insert(e.to).second)
+                        work.push_back(e.to);
+                }
+            }
+        }
+        if (!cyclic)
+            continue;
+        const std::string fp =
+            "lookahead/cycle/" + se.from + "/" + se.to;
+        if (!cycleSeen.insert(fp).second)
+            continue;
+        const SourceFile *f = p.file(se.file);
+        LookaheadViolation v;
+        v.rule = "zero-delay-cycle";
+        v.file = se.file;
+        v.line = se.line;
+        v.fingerprint = fp;
+        v.message =
+            "zero-delay event cycle: " + se.from +
+            " schedules " + se.to +
+            " with a provably zero delay and " + se.to +
+            " reaches " + se.from +
+            " again without charging simulated time";
+        v.allowed = f != nullptr &&
+                    (f->allows(se.line, "lookahead") ||
+                     f->allows(se.line, "zero-delay-cycle"));
+        m.violations.push_back(v);
+    }
+
+    std::sort(m.violations.begin(), m.violations.end(),
+              [](const LookaheadViolation &a,
+                 const LookaheadViolation &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.fingerprint < b.fingerprint;
+              });
+    std::sort(m.entries.begin(), m.entries.end(),
+              [](const LookaheadEntry &a, const LookaheadEntry &b) {
+                  return a.fnKey != b.fnKey ? a.fnKey < b.fnKey
+                                            : a.file < b.file;
+              });
+    m.entries.erase(std::unique(m.entries.begin(), m.entries.end(),
+                                [](const LookaheadEntry &a,
+                                   const LookaheadEntry &b) {
+                                    return a.fnKey == b.fnKey &&
+                                           a.file == b.file &&
+                                           a.line == b.line;
+                                }),
+                    m.entries.end());
+}
+
+std::string
+lookaheadJson(const Project &p)
+{
+    const LookaheadMap &m = p.lookahead;
+    std::ostringstream o;
+    o << "{\n"
+      << "  \"tool\": \"shrimp_analyze\",\n"
+      << "  \"report\": \"lookahead\",\n"
+      << "  \"classes\": [\n";
+    bool first = true;
+    for (const auto &[cls, lc] : m.classes) {
+        o << (first ? "" : ",\n");
+        first = false;
+        o << "    { \"class\": " << jstr(cls) << ", \"boundNs\": "
+          << lc.boundNs << ", \"positive\": "
+          << (lc.positive ? "true" : "false") << ",\n"
+          << "      \"entries\": [";
+        for (std::size_t i = 0; i < lc.entries.size(); ++i)
+            o << (i == 0 ? "" : ", ") << jstr(lc.entries[i]);
+        o << "],\n      \"gates\": [";
+        for (std::size_t i = 0; i < lc.gates.size(); ++i) {
+            const LookaheadGate &g = m.gates[lc.gates[i]];
+            o << (i == 0 ? "" : ", ") << "\n        { \"fn\": "
+              << jstr(g.fnKey) << ", \"file\": " << jstr(g.file)
+              << ", \"line\": " << g.line << ", \"boundNs\": "
+              << g.boundNs << ", \"why\": " << jstr(g.why) << " }";
+        }
+        o << (lc.gates.empty() ? "" : "\n      ") << "] }";
+    }
+    o << "\n  ],\n  \"entries\": [\n";
+    for (std::size_t i = 0; i < m.entries.size(); ++i) {
+        const LookaheadEntry &e = m.entries[i];
+        o << (i == 0 ? "" : ",\n") << "    { \"fn\": " << jstr(e.fnKey)
+          << ", \"file\": " << jstr(e.file) << ", \"line\": " << e.line
+          << ", \"minChargeNs\": " << e.minChargeNs << " }";
+    }
+    o << "\n  ],\n  \"violations\": [\n";
+    for (std::size_t i = 0; i < m.violations.size(); ++i) {
+        const LookaheadViolation &v = m.violations[i];
+        o << (i == 0 ? "" : ",\n") << "    { \"rule\": " << jstr(v.rule)
+          << ", \"file\": " << jstr(v.file) << ", \"line\": " << v.line
+          << ", \"allowed\": " << (v.allowed ? "true" : "false")
+          << ", \"fingerprint\": " << jstr(v.fingerprint)
+          << ", \"message\": " << jstr(v.message) << " }";
+    }
+    o << "\n  ]\n}\n";
+    return o.str();
+}
+
+bool
+checkLookaheadPins(const Project &p,
+                   const std::vector<std::string> &pins,
+                   std::string &err)
+{
+    for (const std::string &pin : pins) {
+        const std::size_t colon = pin.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= pin.size()) {
+            err = "bad --lookahead-pin (want CLASS:NS): " + pin;
+            return false;
+        }
+        const std::string cls = pin.substr(0, colon);
+        long long want = 0;
+        try {
+            want = std::stoll(pin.substr(colon + 1));
+        } catch (const std::exception &) {
+            err = "bad --lookahead-pin value: " + pin;
+            return false;
+        }
+        const auto it = p.lookahead.classes.find(cls);
+        if (it == p.lookahead.classes.end()) {
+            err = "lookahead pin failed: edge class '" + cls +
+                  "' is not annotated in the tree";
+            return false;
+        }
+        if (!it->second.positive || it->second.boundNs < want) {
+            err = "lookahead pin failed: class '" + cls +
+                  "' proves " + std::to_string(it->second.boundNs) +
+                  " ns (positive=" +
+                  (it->second.positive ? "true" : "false") +
+                  "), pinned minimum is " + std::to_string(want) +
+                  " ns";
+            return false;
+        }
+    }
+    err.clear();
+    return true;
+}
+
+} // namespace shrimp::analyze

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Min-delay lookahead analysis for shrimp_analyze.
+ *
+ * buildLookahead() proves, per cross-node communication edge class, a
+ * conservative lower bound of *charged simulated time* any message of
+ * that class pays before it becomes visible on another node. The bound
+ * is the artifact a conservative (null-message) sharded engine needs:
+ * it may advance a shard's clock by the smallest proven bound without
+ * waiting for its peers (ROADMAP item 2, DESIGN.md §12.2).
+ *
+ * Annotation vocabulary (mined by the lexer, argument preserved):
+ *
+ *   analyze: lookahead-entry(CLASS)   the function below (or enclosing
+ *                                     the comment) is the public entry
+ *                                     of edge class CLASS
+ *   analyze: lookahead-charge(CLASS)  the charge expression on this /
+ *                                     the next lines gates CLASS; its
+ *                                     folded minimum is the class bound
+ *                                     candidate (several classes may be
+ *                                     listed, comma-separated)
+ *   analyze: lookahead-effect(deliver|wake)
+ *                                     the statement below makes state
+ *                                     visible off-node (deliver) or
+ *                                     wakes a foreign waiter (wake)
+ *   analyze: lookahead(reason)        justified exception: call edges
+ *                                     leaving annotated lines propagate
+ *                                     no distance, and violations on
+ *                                     them are reported allowed=true
+ *
+ * Bound algebra (fold): a fold result is {lo, exact} where lo is a
+ * sound lower bound under the simulator's invariant that every charge
+ * is non-negative, and exact means lo is the actual value. Literals
+ * fold to themselves; `+`/`*` compose; `-`, `/`, calls and unknown
+ * names fold to {0, inexact}; MachineConfig fields fold to their
+ * in-class defaults; other fields fold to the minimum over their
+ * in-class initializer, constructor-init-list and assignment sites
+ * (a provably-zero in-class default is excluded while any other
+ * candidate exists — it is a sentinel, not a charge); namespace-scope
+ * `constexpr` constants (units::us, nxSendOverhead) fold to their
+ * initializers.
+ *
+ * Three rules consume the result (rule_lookahead.cc):
+ *
+ *   zero-lookahead-path       an edge class with an entry but no gate,
+ *                             a gate whose charge folds to 0, or a
+ *                             deliver-effect reachable from an entry
+ *                             with 0 charged time
+ *   zero-delay-cycle          a provably-zero scheduleIn whose target
+ *                             reaches the scheduler back through
+ *                             zero-charge edges — an event chain that
+ *                             could livelock a time window
+ *   cross-node-wake-uncharged a wake-effect (or a notifyAll/
+ *                             notifyRange/notifyWrite on a
+ *                             parameter-rooted receiver) reachable
+ *                             from an entry with 0 charged time
+ */
+
+#ifndef SHRIMP_TOOLS_ANALYZE_LOOKAHEAD_HH
+#define SHRIMP_TOOLS_ANALYZE_LOOKAHEAD_HH
+
+#include "model.hh"
+
+namespace shrimp::analyze
+{
+
+/** Compute Project::lookahead. Requires parsed files, extractTypes(),
+ *  buildTypeIndex() and buildSummaries() to have run. */
+void buildLookahead(Project &p);
+
+/** Machine-readable report for --lookahead-report=FILE. */
+std::string lookaheadJson(const Project &p);
+
+/** Enforce `--lookahead-pin=CLASS:NS` pins: every named class must be
+ *  proven positive with boundNs >= NS. Returns false and fills @p err
+ *  on the first violated pin (the CI lookahead gate). */
+bool checkLookaheadPins(const Project &p,
+                        const std::vector<std::string> &pins,
+                        std::string &err);
+
+} // namespace shrimp::analyze
+
+#endif // SHRIMP_TOOLS_ANALYZE_LOOKAHEAD_HH

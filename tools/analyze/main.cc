@@ -31,9 +31,19 @@
  *                          write the shard-ownership JSON (per-class
  *                          lattice verdicts + escape edges) — the
  *                          partition plan for ROADMAP item 2.
+ *     --lookahead-report=FILE
+ *                          write the lookahead JSON (per-edge-class
+ *                          proven minimum simulated-time charge) —
+ *                          the null-message synchronizer's input.
+ *     --lookahead-pin=CLASS:NS
+ *                          (repeatable) fail unless edge class CLASS
+ *                          is proven positive with a bound of at
+ *                          least NS nanoseconds — the CI gate that
+ *                          catches a refactor silently shrinking
+ *                          lookahead.
  *
- * Exit status: 0 clean (all findings baselined), 1 fresh findings,
- * 2 usage or I/O error.
+ * Exit status: 0 clean (all findings baselined), 1 fresh findings or
+ * a failed lookahead pin, 2 usage or I/O error.
  */
 
 #include <filesystem>
@@ -46,6 +56,7 @@
 
 #include "analyzer.hh"
 #include "baseline.hh"
+#include "lookahead.hh"
 #include "ownership.hh"
 #include "sarif.hh"
 
@@ -63,6 +74,8 @@ run(int argc, char **argv)
     std::string sarifPath;
     std::string cacheDir;
     std::string ownershipPath;
+    std::string lookaheadPath;
+    std::vector<std::string> lookaheadPins;
     int jobs = 0; // 0 = hardware concurrency
     bool updateBaseline = false;
 
@@ -80,6 +93,10 @@ run(int argc, char **argv)
             cacheDir = arg.substr(8);
         else if (arg.rfind("--ownership-report=", 0) == 0)
             ownershipPath = arg.substr(19);
+        else if (arg.rfind("--lookahead-report=", 0) == 0)
+            lookaheadPath = arg.substr(19);
+        else if (arg.rfind("--lookahead-pin=", 0) == 0)
+            lookaheadPins.push_back(arg.substr(16));
         else if (arg.rfind("--jobs=", 0) == 0) {
             try {
                 jobs = std::stoi(arg.substr(7));
@@ -123,6 +140,25 @@ run(int argc, char **argv)
             return 2;
         }
         out << ownershipJson(proj);
+    }
+
+    if (!lookaheadPath.empty()) {
+        std::ofstream out(lookaheadPath);
+        if (!out) {
+            std::cerr << "shrimp_analyze: cannot write "
+                      << lookaheadPath << "\n";
+            return 2;
+        }
+        out << lookaheadJson(proj);
+    }
+
+    bool pinsOk = true;
+    {
+        std::string pinErr;
+        if (!checkLookaheadPins(proj, lookaheadPins, pinErr)) {
+            std::cerr << "shrimp_analyze: " << pinErr << "\n";
+            pinsOk = false;
+        }
     }
 
     if (!sarifPath.empty()) {
@@ -188,7 +224,7 @@ run(int argc, char **argv)
         std::ofstream out(reportPath);
         out << report.str();
     }
-    return r.fresh.empty() ? 0 : 1;
+    return r.fresh.empty() && pinsOk ? 0 : 1;
 }
 
 } // namespace

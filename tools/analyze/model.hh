@@ -33,11 +33,16 @@ namespace shrimp::analyze
 
 /** One `// analyze: allow(rule)` (or `analyze: free`) annotation.
  *  Suppresses findings of @p rule on its own line and the next line
- *  (so an annotation can sit above the declaration it excuses). */
+ *  (so an annotation can sit above the declaration it excuses).
+ *
+ *  The lookahead vocabulary (lookahead.hh) reuses this record with
+ *  rule = "lookahead-entry" / "lookahead-charge" / "lookahead-effect"
+ *  / "lookahead" and the parenthesized argument preserved in arg. */
 struct Annotation
 {
     int line = 0;
     std::string rule; //!< rule name; "free" is an alias for charged-time
+    std::string arg;  //!< parenthesized argument text ("" if none)
 };
 
 /** One function parameter with its declared type (normalized text). */
@@ -218,6 +223,60 @@ struct OwnershipMap
     bool nodeOwned(const std::string &cls) const;
 };
 
+/** One `analyze: lookahead-charge(CLASS)` gate site with its folded
+ *  minimum simulated-time charge (lookahead.cc). */
+struct LookaheadGate
+{
+    std::string cls;   //!< edge-class name the gate charges for
+    std::string fnKey; //!< enclosing function summary key
+    std::string file;
+    int line = 0;
+    long long boundNs = 0; //!< folded lower bound of the site's charge
+    std::string why;       //!< rendered fold provenance
+};
+
+/** Per-edge-class proven lookahead bound: the minimum charge any
+ *  message of the class pays before becoming visible off-node. */
+struct LookaheadClass
+{
+    std::vector<std::string> entries; //!< entry function keys
+    std::vector<std::size_t> gates;   //!< indices into LookaheadMap::gates
+    long long boundNs = 0;            //!< min over gate bounds
+    bool positive = false;            //!< every gate folded > 0
+};
+
+/** Inline minimum charge of one public datapath entry (report table). */
+struct LookaheadEntry
+{
+    std::string fnKey;
+    std::string file;
+    int line = 0;
+    long long minChargeNs = 0; //!< unconditional charge lower bound
+};
+
+/** One lookahead violation; `allowed` edges stay in the report but
+ *  produce no finding (mirrors EscapeEdge). */
+struct LookaheadViolation
+{
+    std::string rule; //!< zero-lookahead-path / zero-delay-cycle /
+                      //!< cross-node-wake-uncharged
+    std::string file;
+    int line = 0;
+    std::string fingerprint;
+    std::string message;
+    bool allowed = false;
+};
+
+/** Output of buildLookahead(): per-class bounds, charge gates, entry
+ *  charges and violations. */
+struct LookaheadMap
+{
+    std::map<std::string, LookaheadClass> classes;
+    std::vector<LookaheadGate> gates;
+    std::vector<LookaheadEntry> entries;
+    std::vector<LookaheadViolation> violations;
+};
+
 /** Everything the rules see. */
 struct Project
 {
@@ -235,6 +294,8 @@ struct Project
     std::map<std::string, FnSummary> summaries;
     /** Ownership & escape analysis results (ownership.cc). */
     OwnershipMap ownership;
+    /** Min-delay lookahead analysis results (lookahead.cc). */
+    LookaheadMap lookahead;
 
     const SourceFile *file(const std::string &rel) const;
     /** Summary lookup: "Class::name" first, then bare "name"; null if

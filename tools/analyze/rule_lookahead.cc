@@ -1,0 +1,51 @@
+/**
+ * @file
+ * zero-lookahead-path / zero-delay-cycle / cross-node-wake-uncharged:
+ * thin rule emitters over the violations buildLookahead() computed.
+ * Detection lives in lookahead.cc so the --lookahead-report JSON and
+ * the findings are one artifact viewed two ways; annotation-suppressed
+ * (allowed) violations stay in the report but never become findings.
+ */
+
+#include "lookahead.hh"
+#include "rules.hh"
+
+namespace shrimp::analyze
+{
+
+namespace
+{
+
+void
+emitViolations(const Project &p, const std::string &rule,
+               std::vector<Finding> &out)
+{
+    for (const LookaheadViolation &v : p.lookahead.violations) {
+        if (v.rule != rule || v.allowed)
+            continue;
+        out.push_back({v.rule, v.file, v.line, v.fingerprint,
+                       v.message});
+    }
+}
+
+} // namespace
+
+void
+ruleZeroLookaheadPath(const Project &p, std::vector<Finding> &out)
+{
+    emitViolations(p, "zero-lookahead-path", out);
+}
+
+void
+ruleZeroDelayCycle(const Project &p, std::vector<Finding> &out)
+{
+    emitViolations(p, "zero-delay-cycle", out);
+}
+
+void
+ruleCrossNodeWakeUncharged(const Project &p, std::vector<Finding> &out)
+{
+    emitViolations(p, "cross-node-wake-uncharged", out);
+}
+
+} // namespace shrimp::analyze

@@ -1,6 +1,6 @@
 /**
  * @file
- * The ten shrimp_analyze rules. Each pass receives the fully parsed
+ * The thirteen shrimp_analyze rules. Each pass receives the fully parsed
  * and summarized Project and appends Findings; suppression
  * (annotations aside) is the baseline's job, not the rules'.
  *
@@ -53,6 +53,21 @@
  *                            (or `this`) into a lambda handed to an
  *                            event-scheduling sink — an event another
  *                            shard could run.
+ *   zero-lookahead-path      a cross-node-visible effect reachable
+ *                            from a datapath entry with 0 charged
+ *                            simulated time, a lookahead-charge gate
+ *                            whose expression folds to 0, or an edge
+ *                            class with no gate at all (lookahead.hh).
+ *   zero-delay-cycle         a provably-zero scheduleIn whose target
+ *                            reaches the scheduler back through
+ *                            zero-charge call edges — an event chain
+ *                            that could livelock a time window.
+ *   cross-node-wake-uncharged
+ *                            waking a foreign node's Condition/
+ *                            AddrCondition (wake-effect annotation, or
+ *                            notifyAll/notifyRange/notifyWrite on a
+ *                            parameter-rooted receiver) without
+ *                            passing through a charged path.
  */
 
 #ifndef SHRIMP_TOOLS_ANALYZE_RULES_HH
@@ -73,6 +88,10 @@ void ruleTaint(const Project &p, std::vector<Finding> &out);
 void ruleSharedMutableStatic(const Project &p, std::vector<Finding> &out);
 void ruleCrossNodeEscape(const Project &p, std::vector<Finding> &out);
 void ruleEventCaptureEscape(const Project &p, std::vector<Finding> &out);
+void ruleZeroLookaheadPath(const Project &p, std::vector<Finding> &out);
+void ruleZeroDelayCycle(const Project &p, std::vector<Finding> &out);
+void ruleCrossNodeWakeUncharged(const Project &p,
+                                std::vector<Finding> &out);
 
 } // namespace shrimp::analyze
 

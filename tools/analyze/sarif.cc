@@ -74,6 +74,16 @@ const std::map<std::string, std::string> ruleDescs = {
     {"event-capture-escape",
      "node-owned state captured by reference into a scheduled "
      "callable another shard could run"},
+    {"zero-lookahead-path",
+     "cross-node-visible effect reachable with 0 charged simulated "
+     "time, a lookahead-charge gate folding to 0, or an edge class "
+     "with no gate"},
+    {"zero-delay-cycle",
+     "provably-zero scheduleIn whose target reaches the scheduler "
+     "back through zero-charge edges — a time-window livelock"},
+    {"cross-node-wake-uncharged",
+     "foreign Condition/AddrCondition woken without passing through "
+     "a charged path"},
 };
 
 } // namespace
